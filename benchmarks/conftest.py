@@ -1,0 +1,16 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the measured quantity is the wall time of regenerating one
+paper figure at the quick scale, and the benchmark's ``extra_info``
+carries the figure's own numbers (normalized execution times,
+percentages) for inspection in the saved benchmark JSON.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,37 @@
+"""Ablation: BB's inter-epoch ordering — pipelined vs ack-gated drain.
+
+DESIGN.md calls out the modeling choice: whether the memory system
+pipelines BB's epoch-ordered persist stream or serially gates each
+epoch on the previous epoch's acks. This ablation quantifies it — the
+ack-gated drain is strictly slower, because full barriers over-order
+(every epoch behind every epoch), which is exactly the cost LRP's
+one-sided barriers avoid (Section 4.2).
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.bench.configs import SCALED_CONFIG, figure_spec
+from repro.core.simulator import simulate
+
+
+def _run_both():
+    spec = figure_spec("hashmap", num_threads=16, scale="quick")
+    pipelined = simulate(spec, mechanism="bb", config=SCALED_CONFIG)
+    gated_config = dataclasses.replace(SCALED_CONFIG,
+                                       bb_pipelined_epochs=False)
+    gated = simulate(spec, mechanism="bb", config=gated_config)
+    nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
+    return {
+        "pipelined": pipelined.makespan / nop.makespan,
+        "ack_gated": gated.makespan / nop.makespan,
+    }
+
+
+def test_bb_epoch_ordering_ablation(benchmark):
+    result = run_once(benchmark, _run_both)
+    print("\nBB epoch-ordering ablation (normalized to NOP):", result)
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in result.items()})
+    assert result["ack_gated"] >= result["pipelined"]

@@ -1,0 +1,58 @@
+"""Ablation: BST write intensity — Natarajan-Mittal vs tombstone tree.
+
+The paper's biggest LRP-over-BB gain (41%) is on the BST, which it
+attributes to write intensity. This ablation runs the same workload on
+two lock-free BSTs:
+
+* ``bstree`` — the Natarajan-Mittal external tree the paper uses:
+  every insert allocates a leaf + an internal node, every delete
+  splices and frees both (flag/tag/splice CAS chain);
+* ``bstree_tomb`` — a tombstone-delete tree: one alive-word CAS per
+  delete, nodes never freed.
+
+Expectation: the NM tree issues substantially more persists per op and
+BB carries a visibly larger overhead on it, while LRP stays near NOP
+on both — i.e. write intensity is what opens the LRP-vs-BB gap.
+"""
+
+from conftest import run_once
+
+from repro.bench.configs import SCALED_CONFIG
+from repro.core.simulator import simulate
+from repro.workloads.harness import WorkloadSpec
+
+
+def _run_pair():
+    out = {}
+    for structure in ("bstree", "bstree_tomb"):
+        spec = WorkloadSpec(structure=structure, num_threads=16,
+                            initial_size=16384, ops_per_thread=32,
+                            seed=1)
+        runs = {m: simulate(spec, mechanism=m, config=SCALED_CONFIG)
+                for m in ("nop", "bb", "lrp")}
+        nop = runs["nop"].makespan
+        out[structure] = {
+            "bb": runs["bb"].makespan / nop,
+            "lrp": runs["lrp"].makespan / nop,
+            "persists_per_op_bb":
+                runs["bb"].stats.total_persists
+                / max(1, runs["bb"].stats.total_ops),
+        }
+    return out
+
+
+def test_bst_write_intensity_ablation(benchmark):
+    result = run_once(benchmark, _run_pair)
+    print("\nBST write-intensity ablation:", result)
+    for structure, row in result.items():
+        for key, value in row.items():
+            benchmark.extra_info[f"{structure}/{key}"] = round(value, 3)
+
+    nm, tomb = result["bstree"], result["bstree_tomb"]
+    # The NM tree really is more write-intensive.
+    assert nm["persists_per_op_bb"] > tomb["persists_per_op_bb"]
+    # LRP stays near NOP on both trees.
+    assert nm["lrp"] < 1.10
+    assert tomb["lrp"] < 1.10
+    # BB's overhead is larger on the write-intensive tree.
+    assert nm["bb"] >= tomb["bb"] - 0.02

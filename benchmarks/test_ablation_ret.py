@@ -1,0 +1,30 @@
+"""Ablation: Release Epoch Table sizing (Section 5.2.1 design choice).
+
+The paper provisions a 32-entry RET per L1 and claims it "adequately
+over-provisions for the needs of most programs". The ablation sweeps
+the RET size: tiny RETs force frequent watermark drains (early release
+persists — still off the critical path), so performance stays flat
+while the drain count falls steeply toward the paper's 32 entries.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import run_ret_ablation
+
+
+def test_ret_ablation(benchmark):
+    result = run_once(benchmark, run_ret_ablation, "hashmap")
+    print("\n" + result.render())
+    benchmark.extra_info["ret_sizes"] = result.ret_sizes
+    benchmark.extra_info["normalized"] = [round(v, 3)
+                                          for v in result.normalized]
+    benchmark.extra_info["drains"] = result.watermark_drains
+
+    # Watermark drains decrease monotonically with RET size.
+    drains = result.watermark_drains
+    assert all(drains[i] >= drains[i + 1] for i in range(len(drains) - 1))
+    # The paper's 32-entry RET needs (almost) no watermark drains.
+    paper_index = result.ret_sizes.index(32)
+    assert drains[paper_index] <= drains[0] // 4 + 1
+    # Performance is insensitive (drains are off the critical path).
+    assert max(result.normalized) - min(result.normalized) < 0.10

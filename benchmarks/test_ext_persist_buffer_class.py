@@ -1,0 +1,63 @@
+"""Extension: cache-based vs persist-buffer-based RP enforcement.
+
+Section 2.2.1 of the paper contrasts the two implementation families
+("the persist-buffer based approach arguably simplifies the design ...
+the cache-based approach reuses the cache hierarchy") and Section 4.2
+claims LRP's one-sided barriers additionally enable write coalescing
+that "potentially reduc[es] the absolute number of persists".
+
+This extension experiment runs all five RP-enforcing mechanisms —
+SB/BB (cache-based full barriers), DPO/HOPS (persist-buffer full
+barriers), LRP (cache-based one-sided) — on the hashmap and reports
+normalized execution time plus NVM write traffic. Expected shape:
+
+* DPO pays for its single global ordering chain; HOPS fixes that;
+* the buffer designs issue far more NVM writes (word-granular
+  write-through, no coalescing) — the endurance/bandwidth cost;
+* LRP matches the best latency while issuing the fewest writes.
+"""
+
+from conftest import run_once
+
+from repro.bench.configs import SCALED_CONFIG
+from repro.core.simulator import simulate
+from repro.workloads.harness import WorkloadSpec
+
+MECHANISMS = ("nop", "sb", "bb", "dpo", "hops", "lrp")
+
+
+def _run():
+    spec = WorkloadSpec(structure="hashmap", num_threads=16,
+                        initial_size=16384, ops_per_thread=32, seed=1)
+    runs = {m: simulate(spec, mechanism=m, config=SCALED_CONFIG)
+            for m in MECHANISMS}
+    nop = runs["nop"].makespan
+    return {
+        m: {
+            "normalized": runs[m].makespan / nop,
+            "nvm_writes": runs[m].stats.total_persists,
+        }
+        for m in MECHANISMS
+    }
+
+
+def test_persist_buffer_class_comparison(benchmark):
+    result = run_once(benchmark, _run)
+    print("\nRP-enforcement design space (hashmap, 16 threads):")
+    for mech, row in result.items():
+        print(f"  {mech:<5} time={row['normalized']:.2f}x "
+              f"nvm_writes={row['nvm_writes']}")
+        benchmark.extra_info[f"{mech}/time"] = round(row["normalized"], 3)
+        benchmark.extra_info[f"{mech}/writes"] = row["nvm_writes"]
+
+    # DPO's global chain costs it against HOPS.
+    assert result["dpo"]["normalized"] >= result["hops"]["normalized"]
+    # Write-through buffers issue far more NVM writes than LRP.
+    assert result["hops"]["nvm_writes"] > 1.5 * result["lrp"]["nvm_writes"]
+    # LRP is within a whisker of the fastest enforcement.
+    fastest = min(row["normalized"] for mech, row in result.items()
+                  if mech != "nop")
+    assert result["lrp"]["normalized"] <= fastest + 0.05
+    # ... and issues the fewest NVM writes of all RP enforcers.
+    assert result["lrp"]["nvm_writes"] == min(
+        row["nvm_writes"] for mech, row in result.items() if mech != "nop")

@@ -1,0 +1,44 @@
+"""Figure 1 / Section 3: ARP cannot recover an LFD insert; RP can.
+
+Reproduces the paper's motivating example as an experiment: the
+linked-list insert of Figure 1 runs under each mechanism, and the
+model-level predicates judge which persist orders each persistency
+model admits.
+"""
+
+from conftest import run_once
+
+from repro.consistency.litmus import (
+    figure1_initial_memory,
+    figure1_insert,
+    figure1_sequential_schedule,
+    run_interleaving,
+)
+from repro.persistency.rp_model import arp_allows, rp_allows
+
+
+def _figure1_verdicts():
+    trace = run_interleaving(figure1_insert(),
+                             figure1_sequential_schedule(),
+                             init=figure1_initial_memory())
+    link_cas = next(e for e in trace.events
+                    if e.is_release and e.thread_id == 0)
+    link_only = [link_cas.event_id]        # crash: link but no fields
+    program_order = [e.event_id for e in trace.writes()]
+    return {
+        "arp_allows_link_before_fields": arp_allows(trace, link_only),
+        "rp_allows_link_before_fields": rp_allows(trace, link_only),
+        "arp_allows_program_order": arp_allows(trace, program_order),
+        "rp_allows_program_order": rp_allows(trace, program_order),
+    }
+
+
+def test_figure1_arp_weakness(benchmark):
+    verdicts = run_once(benchmark, _figure1_verdicts)
+    print("\nFigure 1 verdicts:", verdicts)
+    # The paper's argument, verbatim:
+    assert verdicts["arp_allows_link_before_fields"] is True
+    assert verdicts["rp_allows_link_before_fields"] is False
+    assert verdicts["arp_allows_program_order"] is True
+    assert verdicts["rp_allows_program_order"] is True
+    benchmark.extra_info.update(verdicts)

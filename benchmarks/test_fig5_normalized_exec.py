@@ -1,0 +1,56 @@
+"""Figure 5: execution time normalized to NOP (cached mode, 32 threads).
+
+Paper's claims, asserted as *shape* (our substrate is a behavioral
+simulator, so the bands are wider than the paper's exact percentages):
+
+* BB outperforms SB (paper: 24-68%, average 52%);
+* LRP outperforms or matches BB on average (paper: 14-44%, avg 33%);
+* LRP stays close to volatile execution (paper: 2-8%).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.figures import run_figure5
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_figure5(scale="quick")
+
+
+def test_figure5_runs(benchmark):
+    result = run_once(benchmark, run_figure5, scale="quick")
+    print("\n" + result.render())
+    for workload in result.workloads:
+        for mech in result.mechanisms:
+            benchmark.extra_info[f"{workload}/{mech}"] = round(
+                result.normalized(workload, mech), 3)
+
+
+class TestFigure5Shape:
+    def test_sb_is_never_best(self, fig5):
+        for workload in fig5.workloads:
+            sb = fig5.normalized(workload, "sb")
+            assert sb >= fig5.normalized(workload, "bb") - 0.05
+            assert sb >= fig5.normalized(workload, "lrp") - 0.05
+
+    def test_bb_beats_sb_on_average(self, fig5):
+        assert fig5.mean_improvement("sb", "bb") > 0.05
+
+    def test_lrp_beats_bb_on_average(self, fig5):
+        assert fig5.mean_improvement("bb", "lrp") > 0.0
+
+    def test_lrp_close_to_nop_on_index_structures(self, fig5):
+        """Paper: LRP is within 2-8% of volatile execution. Our queue
+        deviates (documented in EXPERIMENTS.md); the other four LFDs
+        must stay within ~10%."""
+        for workload in ("linkedlist", "hashmap", "bstree", "skiplist"):
+            assert fig5.normalized(workload, "lrp") < 1.12, workload
+
+    def test_write_intensive_gap_larger_than_read_intensive(self, fig5):
+        """Section 6.4: the LRP-over-BB gap is smaller for the
+        read-heavy linked list than for the write-intensive hashmap."""
+        list_gain = fig5.improvement("linkedlist", "bb", "lrp")
+        hash_gain = fig5.improvement("hashmap", "bb", "lrp")
+        assert hash_gain > list_gain

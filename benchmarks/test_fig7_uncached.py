@@ -1,0 +1,48 @@
+"""Figure 7: normalized execution time in the *uncached* NVM mode.
+
+The NVM-side DRAM cache is disabled (persist ack = 350 cycles). Paper:
+LRP is more robust to the slower NVM than BB or SB — it keeps a
+nominal overhead (3-19% over NOP) and widens its margin over BB.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.figures import run_figure5, run_figure7
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_figure7(scale="quick")
+
+
+def test_figure7_runs(benchmark):
+    result = run_once(benchmark, run_figure7, scale="quick")
+    print("\n" + result.render())
+    for workload in result.workloads:
+        for mech in result.mechanisms:
+            benchmark.extra_info[f"{workload}/{mech}"] = round(
+                result.normalized(workload, mech), 3)
+
+
+class TestFigure7Shape:
+    def test_lrp_beats_bb_on_average(self, fig7):
+        assert fig7.mean_improvement("bb", "lrp") > 0.0
+
+    def test_sb_worst_on_average(self, fig7):
+        assert fig7.mean_improvement("sb", "bb") > 0.0
+
+    def test_lrp_robust_on_index_structures(self, fig7):
+        """LRP overhead stays nominal even with 350-cycle persists."""
+        for workload in ("hashmap", "bstree", "skiplist"):
+            assert fig7.normalized(workload, "lrp") < 1.25, workload
+
+    def test_uncached_hurts_sb_more_than_lrp(self, fig7):
+        fig5 = run_figure5(scale="quick",
+                           workloads=("hashmap", "skiplist"))
+        for workload in ("hashmap", "skiplist"):
+            sb_growth = (fig7.normalized(workload, "sb")
+                         - fig5.normalized(workload, "sb"))
+            lrp_growth = (fig7.normalized(workload, "lrp")
+                          - fig5.normalized(workload, "lrp"))
+            assert sb_growth > lrp_growth, workload

@@ -1,0 +1,51 @@
+"""Figure 8(a-e): persistency overhead vs worker threads (1-32).
+
+Paper: LRP's overhead stays relatively flat as threads grow (the
+feared inter-thread I2 cost does not materialize at scale), while BB
+carries a visibly larger overhead on the write-intensive workloads.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.figures import run_figure8
+
+WORKLOADS = ("hashmap", "bstree", "skiplist", "queue")
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_figure8(scale="quick", workloads=WORKLOADS)
+
+
+def test_figure8_runs(benchmark):
+    result = run_once(benchmark, run_figure8, scale="quick",
+                      workloads=WORKLOADS)
+    print("\n" + result.render())
+    for workload, series in result.overheads.items():
+        for mech, values in series.items():
+            benchmark.extra_info[f"{workload}/{mech}"] = [
+                round(v, 1) for v in values
+            ]
+
+
+class TestFigure8Shape:
+    def test_lrp_overhead_flat_on_index_structures(self, fig8):
+        """LRP's curve stays low and flat across thread counts."""
+        for workload in ("hashmap", "bstree", "skiplist"):
+            series = fig8.overheads[workload]["lrp"]
+            assert max(series) < 15.0, (workload, series)
+
+    def test_single_thread_lrp_near_zero(self, fig8):
+        for workload in WORKLOADS:
+            assert fig8.overheads[workload]["lrp"][0] < 10.0, workload
+
+    def test_bb_overhead_exceeds_lrp_at_32_threads_on_hashmap(self,
+                                                              fig8):
+        bb = fig8.overheads["hashmap"]["bb"][-1]
+        lrp = fig8.overheads["hashmap"]["lrp"][-1]
+        assert bb > lrp
+
+    def test_thread_counts_cover_paper_range(self, fig8):
+        assert fig8.thread_counts[0] == 1
+        assert fig8.thread_counts[-1] == 32

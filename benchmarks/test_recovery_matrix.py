@@ -1,0 +1,51 @@
+"""Recovery validation: the Section 3/4 argument as an experiment.
+
+Every mechanism runs every LFD; each finished run is crashed at many
+persist-log prefixes and the structure's null-recovery validator
+judges the NVM image. RP-enforcing mechanisms (SB/BB/LRP) must recover
+at every point; NOP must corrupt; ARP must corrupt somewhere across
+the set-structured workloads (Figure 1's argument).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.figures import run_recovery_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_recovery_matrix()
+
+
+def test_recovery_matrix_runs(benchmark):
+    result = run_once(benchmark, run_recovery_matrix)
+    print("\n" + result.render())
+    for row in result.rows:
+        key = f"{row['workload']}/{row['mechanism']}"
+        benchmark.extra_info[key] = row["unrecoverable"]
+
+
+class TestRecoveryMatrixShape:
+    def test_rp_mechanisms_always_recover(self, matrix):
+        for row in matrix.rows:
+            if row["mechanism"] in ("sb", "bb", "dpo", "hops", "lrp"):
+                assert row["unrecoverable"] == 0, row
+
+    def test_nop_corrupts_most_workloads(self, matrix):
+        corrupted = sum(
+            1 for row in matrix.rows
+            if row["mechanism"] == "nop" and row["unrecoverable"] > 0)
+        assert corrupted >= 4
+
+    def test_arp_corrupts_somewhere(self, matrix):
+        total = sum(row["unrecoverable"] for row in matrix.rows
+                    if row["mechanism"] == "arp")
+        assert total > 0
+
+    def test_coverage_is_complete(self, matrix):
+        workloads = {row["workload"] for row in matrix.rows}
+        mechanisms = {row["mechanism"] for row in matrix.rows}
+        assert len(workloads) == 5
+        assert mechanisms == {"nop", "arp", "sb", "bb", "dpo", "hops",
+                              "lrp"}

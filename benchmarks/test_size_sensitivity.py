@@ -1,0 +1,25 @@
+"""Section 6.4: sensitivity to data-structure size.
+
+Paper: varying the size 8K-1M "did not observe a significant change in
+the results" — intra-thread effects dominate. We sweep 8K-64K on the
+hashmap (our Python-scale band) and assert the flatness.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import run_size_sensitivity
+
+
+def test_size_sensitivity(benchmark):
+    result = run_once(benchmark, run_size_sensitivity, "hashmap")
+    print("\n" + result.render())
+    for mech, series in result.overheads.items():
+        benchmark.extra_info[mech] = [round(v, 1) for v in series]
+
+    # LRP stays nominal at every size.
+    assert max(result.overheads["lrp"]) < 15.0
+    # No blow-up with size for either mechanism: the largest size is
+    # within a factor of ~2.5 of the band's smallest overhead + slack.
+    for mech in ("bb", "lrp"):
+        series = result.overheads[mech]
+        assert max(series) - min(series) < 25.0, (mech, series)

@@ -1,0 +1,27 @@
+"""Table 1: the simulated machine configuration.
+
+Not a performance experiment — this bench renders and pins the
+configuration table the rest of the evaluation runs on, both the
+verbatim paper machine and the documented Python-scale variant.
+"""
+
+from conftest import run_once
+
+from repro.bench.configs import PAPER_CONFIG, SCALED_CONFIG
+
+
+def test_table1_paper_machine(benchmark):
+    text = run_once(benchmark, PAPER_CONFIG.describe)
+    print("\nTable 1 (paper machine):\n" + text)
+    assert "64-core" in text
+    assert "cached mode: 120 cycles" in text
+    assert "uncached mode: 350 cycles" in text
+    assert "RET (private)" in text
+    benchmark.extra_info["table"] = text
+
+
+def test_table1_scaled_machine(benchmark):
+    text = run_once(benchmark, SCALED_CONFIG.describe)
+    print("\nTable 1 (scaled reproduction machine):\n" + text)
+    assert "8KB" in text
+    benchmark.extra_info["table"] = text

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1 story, end to end.
+
+A concurrent log-free linked list runs under ARP (the prior one-sided
+persistency model) and under LRP. The demo crashes each run at every
+persist-log prefix and reports what recovery finds:
+
+* under **ARP**, some crash leaves a node *linked into the list whose
+  fields never persisted* — the unrecoverable state of Figure 1(e);
+* under **LRP**, every single crash point is a consistent cut and the
+  list null-recovers.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import WorkloadSpec, simulate
+from repro.core.recovery import exhaustive_crash_test
+from repro.core.replay import recover_and_continue
+
+
+def demo(mechanism: str, seeds) -> None:
+    print(f"=== {mechanism.upper()} ===")
+    worst = None
+    for seed in seeds:
+        spec = WorkloadSpec(structure="linkedlist", num_threads=6,
+                            initial_size=64, ops_per_thread=24,
+                            seed=seed)
+        result = simulate(spec, mechanism=mechanism)
+        campaign = exhaustive_crash_test(result)
+        print(f"  seed {seed}: {campaign.attempts} crash points, "
+              f"{len(campaign.failures)} unrecoverable")
+        if campaign.failures and worst is None:
+            worst = campaign.failures[0]
+    if worst is not None:
+        print(f"  first unrecoverable image (crash after "
+              f"{worst.prefix_len} persists):")
+        for problem in worst.report.problems[:3]:
+            print(f"    - {problem}")
+    else:
+        print("  null recovery succeeded at every crash point ✓")
+    print()
+
+
+def continuation_demo() -> None:
+    """Null recovery is operational: crash mid-run, keep computing."""
+    print("=== LRP: crash, recover, continue operating ===")
+    spec = WorkloadSpec(structure="linkedlist", num_threads=6,
+                        initial_size=64, ops_per_thread=24, seed=0)
+    result = simulate(spec, mechanism="lrp")
+    log_len = len(result.nvm.persist_log())
+    crash_at = log_len // 2
+    cont = recover_and_continue(result, crash_at)
+    print(f"  crashed after {crash_at}/{log_len} persists; recovered "
+          f"{len(cont.recovered_keys)} keys; ran "
+          f"{len(cont.results)} more operations on the recovered "
+          "structure — all linearizable ✓")
+
+
+def main() -> None:
+    seeds = range(6)
+    demo("arp", seeds)   # the Figure 1(e) failure
+    demo("lrp", seeds)   # the paper's fix
+    demo("nop", seeds)   # no persistency at all, for contrast
+    continuation_demo()
+
+
+if __name__ == "__main__":
+    main()

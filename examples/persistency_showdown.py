@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare all persistency mechanisms on one workload (Figure 5 style).
+
+Runs NOP / SB / BB / LRP on the chosen log-free data structure and
+prints execution time normalized to volatile execution, plus the
+critical-writeback fractions behind Figure 6.
+
+Run:  python examples/persistency_showdown.py --workload skiplist
+      python examples/persistency_showdown.py --workload queue \\
+          --threads 16 --size 2048 --uncached
+"""
+
+import argparse
+
+from repro import WorkloadSpec, simulate
+from repro.bench.configs import SCALED_CONFIG, uncached
+from repro.lfds import WORKLOAD_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Persistency-mechanism comparison on one LFD.")
+    parser.add_argument("--workload", choices=WORKLOAD_NAMES,
+                        default="hashmap")
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--size", type=int, default=8192)
+    parser.add_argument("--ops", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--uncached", action="store_true",
+                        help="disable the NVM-side DRAM cache (Fig. 7)")
+    args = parser.parse_args()
+
+    config = uncached(SCALED_CONFIG) if args.uncached else SCALED_CONFIG
+    spec = WorkloadSpec(structure=args.workload,
+                        num_threads=args.threads,
+                        initial_size=args.size,
+                        ops_per_thread=args.ops, seed=args.seed)
+
+    mode = "uncached" if args.uncached else "cached"
+    print(f"{args.workload}, {args.threads} threads, "
+          f"{args.size} initial elements, NVM {mode} mode\n")
+    print(f"{'mechanism':<10} {'cycles':>12} {'vs NOP':>8} "
+          f"{'persists':>9} {'critical WB':>12} {'stall cyc':>10}")
+
+    baseline = None
+    breakdowns = {}
+    for mechanism in ("nop", "sb", "bb", "lrp"):
+        result = simulate(spec, mechanism=mechanism, config=config)
+        result.verify_final_state()
+        stats = result.stats
+        if baseline is None:
+            baseline = result.makespan
+        print(f"{mechanism:<10} {result.makespan:>12,} "
+              f"{result.makespan / baseline:>8.2f} "
+              f"{stats.total_persists:>9} "
+              f"{stats.critical_writeback_fraction:>11.0%} "
+              f"{stats.persist_stall_cycles:>10,}")
+        breakdowns[mechanism] = stats.stall_breakdown()
+
+    print("\nstall cycles by cause:")
+    for mechanism, breakdown in breakdowns.items():
+        if breakdown:
+            causes = ", ".join(f"{k}={v:,}" for k, v in
+                               sorted(breakdown.items(),
+                                      key=lambda kv: -kv[1]))
+            print(f"  {mechanism:<5} {causes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a reproduction of "Lazy Release Persistency" (ASPLOS 2020).
+
+The package provides:
+
+* a behavioral multicore simulator (MESI directory coherence, 2D-mesh
+  NoC, PCM-like NVM with cached/uncached modes);
+* the persistency mechanisms compared in the paper: NOP (volatile),
+  SB (strict full barrier), BB (buffered full barrier), LRP (the
+  paper's lazy one-sided barrier), plus ARP (the too-weak predecessor);
+* five log-free data structures (Harris linked list, Michael hashmap,
+  lock-free BST, skip list, Michael-Scott queue) written against the
+  simulated memory with C++11-style acquire/release annotations;
+* formal Release Persistency checking (happens-before construction,
+  persist-order and consistent-cut validation) and crash-recovery
+  experiments;
+* the benchmark harness regenerating every figure of the paper's
+  evaluation.
+
+Quickstart::
+
+    from repro import WorkloadSpec, simulate, crash_test
+
+    spec = WorkloadSpec(structure="hashmap", num_threads=8,
+                        initial_size=512, ops_per_thread=32)
+    result = simulate(spec, mechanism="lrp")
+    print(result.stats.summary())
+    print(crash_test(result).summary())
+"""
+
+from repro.common import DEFAULT_CONFIG, MachineConfig, NVMMode, RunStats
+from repro.consistency import HappensBefore, MemOrder, Trace
+from repro.core import (
+    Machine,
+    SimulationResult,
+    crash_test,
+    exhaustive_crash_test,
+    simulate,
+    simulate_all_mechanisms,
+)
+from repro.lfds import (
+    STRUCTURES,
+    WORKLOAD_NAMES,
+    LogFreeStructure,
+    structure_by_name,
+)
+from repro.persistency import (
+    MECHANISMS,
+    RPChecker,
+    mechanism_by_name,
+)
+from repro.workloads.harness import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "MachineConfig",
+    "NVMMode",
+    "RunStats",
+    "HappensBefore",
+    "MemOrder",
+    "Trace",
+    "Machine",
+    "SimulationResult",
+    "crash_test",
+    "exhaustive_crash_test",
+    "simulate",
+    "simulate_all_mechanisms",
+    "STRUCTURES",
+    "WORKLOAD_NAMES",
+    "LogFreeStructure",
+    "structure_by_name",
+    "MECHANISMS",
+    "RPChecker",
+    "mechanism_by_name",
+    "WorkloadSpec",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Command-line entry point: ``python -m repro.bench`` runs the
+figure reproductions (same flags as ``repro.bench.figures.main``)."""
+
+from repro.bench.figures import main
+
+if __name__ == "__main__":
+    main()

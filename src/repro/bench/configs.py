@@ -1,0 +1,109 @@
+"""Benchmark configurations: the paper's setup, scaled for Python.
+
+The paper evaluates on a Pin-based simulator at 64 cores, 32 worker
+threads, 64K-1M element structures and millions of operations. A pure
+Python reproduction is ~10^4x slower per simulated memory operation, so
+the benchmark harness scales the *sizes* down while preserving the
+ratios that drive the results:
+
+* **structure footprint >> L1 capacity** — released lines are evicted
+  (and persisted off the critical path, LRP invariant I1) long before
+  another thread reuses them, keeping inter-thread I2 blocking rare,
+  as at paper scale. We shrink the modeled L1 to 8KB alongside the
+  structures to stay in this regime.
+* **NVM bandwidth scaled with thread count** — the paper's PCM
+  subsystem is provisioned for 64 cores; with our shorter simulated
+  ops, 8 memory controllers keep the persist-rate-to-bandwidth ratio
+  out of the saturation regime the original does not operate in.
+* **non-memory work per instruction** — ``compute_cycles_per_op=4``
+  stands in for the ALU/branch work between memory accesses.
+
+Both a ``quick`` scale (seconds per experiment, used by the pytest
+benchmarks) and a ``full`` scale (minutes, closer to paper ratios) are
+provided.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.common.params import MachineConfig, NVMMode
+from repro.workloads.harness import WorkloadSpec
+
+#: The timing model used by every benchmark (Table 1, scaled as above).
+SCALED_CONFIG = MachineConfig(
+    l1_size_bytes=8 * 1024,
+    num_memory_controllers=8,
+    compute_cycles_per_op=4,
+)
+
+#: Table 1 verbatim (used for the configuration table and unit tests).
+PAPER_CONFIG = MachineConfig()
+
+#: Mechanisms in the order Figures 5/7 plot them.
+FIGURE_MECHANISMS = ["sb", "bb", "lrp"]
+
+#: Thread counts of the Figure 8 sweep.
+FIGURE8_THREADS = [1, 8, 16, 32]
+
+
+def uncached(config: MachineConfig) -> MachineConfig:
+    """The Figure 7 variant: NVM-side DRAM cache disabled."""
+    return dataclasses.replace(config, nvm_mode=NVMMode.UNCACHED)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadScale:
+    """Per-workload scaled sizes for one benchmark scale."""
+
+    initial_size: int
+    ops_per_thread: int
+
+
+# O(1)/O(log n) structures run at the paper's default 64K elements
+# outright (their per-op cost does not grow with size); the O(n)
+# linked list is scaled down and documented in EXPERIMENTS.md.
+_QUICK: Dict[str, WorkloadScale] = {
+    "linkedlist": WorkloadScale(initial_size=256, ops_per_thread=10),
+    "hashmap": WorkloadScale(initial_size=65536, ops_per_thread=32),
+    "bstree": WorkloadScale(initial_size=65536, ops_per_thread=32),
+    "skiplist": WorkloadScale(initial_size=65536, ops_per_thread=24),
+    "queue": WorkloadScale(initial_size=1024, ops_per_thread=32),
+}
+
+_FULL: Dict[str, WorkloadScale] = {
+    "linkedlist": WorkloadScale(initial_size=512, ops_per_thread=24),
+    "hashmap": WorkloadScale(initial_size=65536, ops_per_thread=64),
+    "bstree": WorkloadScale(initial_size=65536, ops_per_thread=64),
+    "skiplist": WorkloadScale(initial_size=65536, ops_per_thread=48),
+    "queue": WorkloadScale(initial_size=2048, ops_per_thread=64),
+}
+
+SCALES = {"quick": _QUICK, "full": _FULL}
+
+
+def figure_spec(workload: str, *, num_threads: int = 32,
+                scale: str = "quick", seed: int = 1) -> WorkloadSpec:
+    """The WorkloadSpec for one workload at a benchmark scale."""
+    try:
+        sizing = SCALES[scale][workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r} or workload {workload!r}") from None
+    return WorkloadSpec(
+        structure=workload,
+        num_threads=num_threads,
+        initial_size=sizing.initial_size,
+        ops_per_thread=sizing.ops_per_thread,
+        seed=seed,
+    )
+
+
+def all_figure_specs(*, num_threads: int = 32, scale: str = "quick",
+                     seed: int = 1) -> List[WorkloadSpec]:
+    """One spec per workload, in the paper's plotting order."""
+    from repro.lfds import WORKLOAD_NAMES
+
+    return [figure_spec(name, num_threads=num_threads, scale=scale,
+                        seed=seed) for name in WORKLOAD_NAMES]

@@ -1,0 +1,403 @@
+"""Reproduction of every figure in the paper's evaluation (Section 6).
+
+Each ``run_*`` function executes the simulations behind one paper
+figure and returns a structured result that can render itself as the
+same rows/series the paper reports. The pytest benchmarks under
+``benchmarks/`` call these; ``python -m repro.bench.figures`` runs the
+whole evaluation from the command line.
+
+Absolute numbers differ from the paper (our substrate is a behavioral
+Python simulator, not Pin on a testbed); the *shape* — who wins, by
+roughly what factor — is the reproduction target. EXPERIMENTS.md
+records paper-vs-measured for every figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.configs import (
+    FIGURE8_THREADS,
+    FIGURE_MECHANISMS,
+    SCALED_CONFIG,
+    figure_spec,
+    uncached,
+)
+from repro.bench.report import render_series, render_table
+from repro.common.params import MachineConfig
+from repro.core.recovery import crash_test
+from repro.core.simulator import SimulationResult, simulate
+from repro.lfds import WORKLOAD_NAMES
+from repro.workloads.harness import WorkloadSpec
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 7: normalized execution time
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class NormalizedExecutionResult:
+    """Execution time of each mechanism normalized to NOP, per LFD."""
+
+    title: str
+    workloads: List[str]
+    mechanisms: List[str]
+    results: Dict[str, Dict[str, SimulationResult]]
+
+    def normalized(self, workload: str, mechanism: str) -> float:
+        nop = self.results[workload]["nop"].makespan
+        return self.results[workload][mechanism].makespan / nop
+
+    def improvement(self, workload: str, slower: str,
+                    faster: str) -> float:
+        """Fractional exec-time improvement of ``faster`` vs ``slower``."""
+        slow = self.results[workload][slower].makespan
+        fast = self.results[workload][faster].makespan
+        return (slow - fast) / slow
+
+    def mean_improvement(self, slower: str, faster: str) -> float:
+        gains = [self.improvement(w, slower, faster)
+                 for w in self.workloads]
+        return sum(gains) / len(gains)
+
+    def render(self) -> str:
+        rows = []
+        for workload in self.workloads:
+            rows.append([workload] + [
+                self.normalized(workload, mech)
+                for mech in self.mechanisms
+            ])
+        return render_table(self.title,
+                            ["workload"] + self.mechanisms, rows)
+
+
+def run_normalized_execution(config: MachineConfig, title: str, *,
+                             scale: str = "quick", num_threads: int = 32,
+                             seed: int = 1,
+                             workloads: Optional[Sequence[str]] = None
+                             ) -> NormalizedExecutionResult:
+    """Shared engine for Figures 5 and 7."""
+    workloads = list(workloads or WORKLOAD_NAMES)
+    mechanisms = ["nop"] + FIGURE_MECHANISMS
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for workload in workloads:
+        spec = figure_spec(workload, num_threads=num_threads,
+                           scale=scale, seed=seed)
+        results[workload] = {
+            mech: simulate(spec, mechanism=mech, config=config)
+            for mech in mechanisms
+        }
+    return NormalizedExecutionResult(
+        title=title, workloads=workloads,
+        mechanisms=FIGURE_MECHANISMS, results=results)
+
+
+def run_figure5(*, scale: str = "quick", num_threads: int = 32,
+                seed: int = 1,
+                workloads: Optional[Sequence[str]] = None
+                ) -> NormalizedExecutionResult:
+    """Figure 5: exec time normalized to NOP, cached NVM mode."""
+    return run_normalized_execution(
+        SCALED_CONFIG,
+        "Figure 5: execution time normalized to No-Persistency "
+        "(cached mode, lower is better)",
+        scale=scale, num_threads=num_threads, seed=seed,
+        workloads=workloads)
+
+
+def run_figure7(*, scale: str = "quick", num_threads: int = 32,
+                seed: int = 1,
+                workloads: Optional[Sequence[str]] = None
+                ) -> NormalizedExecutionResult:
+    """Figure 7: same as Figure 5 with the NVM DRAM cache disabled."""
+    return run_normalized_execution(
+        uncached(SCALED_CONFIG),
+        "Figure 7: execution time normalized to No-Persistency "
+        "(uncached mode, lower is better)",
+        scale=scale, num_threads=num_threads, seed=seed,
+        workloads=workloads)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: critical-path writebacks
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Figure6Result:
+    """% of writebacks on the execution critical path, BB vs LRP."""
+
+    workloads: List[str]
+    fractions: Dict[str, Dict[str, float]]   # workload -> mech -> frac
+
+    def render(self) -> str:
+        rows = [
+            [w, f"{self.fractions[w]['bb'] * 100:.0f}%",
+             f"{self.fractions[w]['lrp'] * 100:.0f}%"]
+            for w in self.workloads
+        ]
+        return render_table(
+            "Figure 6: percentage of write-backs in the critical path "
+            "(lower is better)",
+            ["workload", "BB", "LRP"], rows)
+
+
+def run_figure6(fig5: Optional[NormalizedExecutionResult] = None, *,
+                scale: str = "quick", num_threads: int = 32,
+                seed: int = 1) -> Figure6Result:
+    """Figure 6 is derived from the Figure 5 runs."""
+    fig5 = fig5 or run_figure5(scale=scale, num_threads=num_threads,
+                               seed=seed)
+    fractions = {
+        workload: {
+            mech: fig5.results[workload][mech]
+            .stats.critical_writeback_fraction
+            for mech in ("bb", "lrp")
+        }
+        for workload in fig5.workloads
+    }
+    return Figure6Result(workloads=fig5.workloads, fractions=fractions)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: persistency overhead vs thread count
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Figure8Result:
+    """% overhead over NOP, per workload, as threads scale."""
+
+    thread_counts: List[int]
+    overheads: Dict[str, Dict[str, List[float]]]  # wl -> mech -> [%]
+
+    def render(self) -> str:
+        blocks = []
+        for workload, series in self.overheads.items():
+            blocks.append(render_series(
+                f"Figure 8 ({workload}): % persistency overhead over "
+                "No-Persistency vs threads (lower is better)",
+                "threads", self.thread_counts,
+                {m.upper(): v for m, v in series.items()}))
+        return "\n\n".join(blocks)
+
+
+def run_figure8(*, scale: str = "quick",
+                thread_counts: Optional[Sequence[int]] = None,
+                workloads: Optional[Sequence[str]] = None,
+                mechanisms: Sequence[str] = ("bb", "lrp"),
+                seed: int = 1) -> Figure8Result:
+    """Figure 8(a-e): overhead sweep over 1-32 worker threads."""
+    thread_counts = list(thread_counts or FIGURE8_THREADS)
+    workloads = list(workloads or WORKLOAD_NAMES)
+    overheads: Dict[str, Dict[str, List[float]]] = {}
+    for workload in workloads:
+        overheads[workload] = {mech: [] for mech in mechanisms}
+        for threads in thread_counts:
+            spec = figure_spec(workload, num_threads=threads,
+                               scale=scale, seed=seed)
+            nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
+            for mech in mechanisms:
+                run = simulate(spec, mechanism=mech, config=SCALED_CONFIG)
+                overheads[workload][mech].append(
+                    run.stats.overhead_vs(nop.stats) * 100.0)
+    return Figure8Result(thread_counts=thread_counts, overheads=overheads)
+
+
+# ----------------------------------------------------------------------
+# Section 6.4: data-structure size sensitivity
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SizeSensitivityResult:
+    """% overhead over NOP as the structure size is swept."""
+
+    workload: str
+    sizes: List[int]
+    overheads: Dict[str, List[float]]
+
+    def render(self) -> str:
+        return render_series(
+            f"Size sensitivity ({self.workload}): % overhead over "
+            "No-Persistency vs initial size",
+            "size", self.sizes,
+            {m.upper(): v for m, v in self.overheads.items()})
+
+
+def run_size_sensitivity(workload: str = "hashmap", *,
+                         sizes: Sequence[int] = (8192, 16384, 32768,
+                                                 65536),
+                         num_threads: int = 16,
+                         ops_per_thread: int = 32,
+                         mechanisms: Sequence[str] = ("bb", "lrp"),
+                         seed: int = 1) -> SizeSensitivityResult:
+    """The paper varied sizes 8K-1M and saw no significant change."""
+    overheads: Dict[str, List[float]] = {m: [] for m in mechanisms}
+    for size in sizes:
+        spec = WorkloadSpec(structure=workload, num_threads=num_threads,
+                            initial_size=size,
+                            ops_per_thread=ops_per_thread, seed=seed)
+        nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
+        for mech in mechanisms:
+            run = simulate(spec, mechanism=mech, config=SCALED_CONFIG)
+            overheads[mech].append(
+                run.stats.overhead_vs(nop.stats) * 100.0)
+    return SizeSensitivityResult(workload=workload, sizes=list(sizes),
+                                 overheads=overheads)
+
+
+# ----------------------------------------------------------------------
+# RET-size ablation (Section 5.2.1 design choice)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class RetAblationResult:
+    """LRP execution time and engine activity across RET sizes."""
+
+    workload: str
+    ret_sizes: List[int]
+    normalized: List[float]
+    watermark_drains: List[int]
+
+    def render(self) -> str:
+        rows = [
+            [self.ret_sizes[i], self.normalized[i],
+             self.watermark_drains[i]]
+            for i in range(len(self.ret_sizes))
+        ]
+        return render_table(
+            f"RET ablation ({self.workload}): LRP exec time normalized "
+            "to NOP and watermark-triggered drains vs RET entries",
+            ["RET entries", "LRP/NOP", "watermark drains"], rows)
+
+
+def run_ret_ablation(workload: str = "hashmap", *,
+                     ret_sizes: Sequence[int] = (4, 8, 16, 32, 64),
+                     num_threads: int = 16, scale: str = "quick",
+                     seed: int = 1) -> RetAblationResult:
+    """Sweep the Release Epoch Table size (paper default: 32)."""
+    spec = figure_spec(workload, num_threads=num_threads, scale=scale,
+                       seed=seed)
+    nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
+    normalized, drains = [], []
+    for entries in ret_sizes:
+        config = dataclasses.replace(
+            SCALED_CONFIG, ret_entries=entries,
+            ret_watermark=max(1, (entries * 3) // 4))
+        run = simulate(spec, mechanism="lrp", config=config)
+        normalized.append(run.makespan / nop.makespan)
+        drains.append(run.machine.mechanism.stats_ret_watermark_drains)
+    return RetAblationResult(workload=workload,
+                             ret_sizes=list(ret_sizes),
+                             normalized=normalized,
+                             watermark_drains=drains)
+
+
+# ----------------------------------------------------------------------
+# Recovery matrix (Figure 1 / Section 3 argument, as an experiment)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class RecoveryMatrixResult:
+    """Crash-recovery outcomes per (workload, mechanism)."""
+
+    rows: List[Dict[str, object]]
+
+    def outcome(self, workload: str, mechanism: str) -> Dict[str, object]:
+        for row in self.rows:
+            if (row["workload"] == workload
+                    and row["mechanism"] == mechanism):
+                return row
+        raise KeyError((workload, mechanism))
+
+    def render(self) -> str:
+        table = [
+            [row["workload"], row["mechanism"], row["crash_points"],
+             row["unrecoverable"],
+             "OK" if row["unrecoverable"] == 0 else "VIOLATIONS"]
+            for row in self.rows
+        ]
+        return render_table(
+            "Recovery matrix: null recovery across crash points "
+            "(RP mechanisms must always recover; ARP/NOP must not)",
+            ["workload", "mechanism", "crash points", "unrecoverable",
+             "verdict"], table)
+
+
+def run_recovery_matrix(*, workloads: Optional[Sequence[str]] = None,
+                        mechanisms: Sequence[str] = (
+                            "nop", "arp", "sb", "bb", "dpo", "hops",
+                            "lrp"),
+                        num_threads: int = 8, initial_size: int = 256,
+                        ops_per_thread: int = 24, seeds: Sequence[int] = (0, 1),
+                        crash_points: int = 40) -> RecoveryMatrixResult:
+    """Crash every mechanism on every LFD at many persist-log points."""
+    workloads = list(workloads or WORKLOAD_NAMES)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        for mech in mechanisms:
+            attempts = 0
+            failures = 0
+            for seed in seeds:
+                spec = WorkloadSpec(structure=workload,
+                                    num_threads=num_threads,
+                                    initial_size=initial_size,
+                                    ops_per_thread=ops_per_thread,
+                                    seed=seed)
+                run = simulate(spec, mechanism=mech, config=SCALED_CONFIG)
+                campaign = crash_test(run, num_points=crash_points,
+                                      seed=seed)
+                attempts += campaign.attempts
+                failures += len(campaign.failures)
+            rows.append({
+                "workload": workload,
+                "mechanism": mech,
+                "crash_points": attempts,
+                "unrecoverable": failures,
+            })
+    return RecoveryMatrixResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Command-line entry point
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation figures.")
+    parser.add_argument("--scale", choices=("quick", "full"),
+                        default="quick")
+    parser.add_argument("--figures", nargs="*", default=None,
+                        help="subset, e.g. fig5 fig6 fig7 fig8 size "
+                             "ret recovery")
+    args = parser.parse_args(argv)
+    wanted = set(args.figures or
+                 ["fig5", "fig6", "fig7", "fig8", "size", "ret",
+                  "recovery"])
+
+    fig5 = None
+    if wanted & {"fig5", "fig6"}:
+        fig5 = run_figure5(scale=args.scale)
+        if "fig5" in wanted:
+            print(fig5.render())
+            print(f"\nmean improvement BB over SB: "
+                  f"{fig5.mean_improvement('sb', 'bb') * 100:.0f}%")
+            print(f"mean improvement LRP over BB: "
+                  f"{fig5.mean_improvement('bb', 'lrp') * 100:.0f}%\n")
+    if "fig6" in wanted:
+        print(run_figure6(fig5).render(), "\n")
+    if "fig7" in wanted:
+        print(run_figure7(scale=args.scale).render(), "\n")
+    if "fig8" in wanted:
+        print(run_figure8(scale=args.scale).render(), "\n")
+    if "size" in wanted:
+        print(run_size_sensitivity().render(), "\n")
+    if "ret" in wanted:
+        print(run_ret_ablation().render(), "\n")
+    if "recovery" in wanted:
+        print(run_recovery_matrix().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Plain-text rendering of benchmark results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with a title, suitable for terminal output."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells))
+        if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_series(title: str, x_label: str, x_values: Sequence[object],
+                  series: Dict[str, Sequence[float]]) -> str:
+    """A line-per-series rendering of a sweep (Figure 8 style)."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows: List[List[object]] = []
+    for name, values in series.items():
+        rows.append([name] + [f"{v:.1f}" for v in values])
+    return render_table(title, headers, rows)

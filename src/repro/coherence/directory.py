@@ -1,0 +1,284 @@
+"""Directory-based MESI coherence fabric (Table 1: directory MESI).
+
+The fabric owns the per-line directory state (single M/E owner or a set
+of S sharers), the banked-LLC/home-tile timing, and the coherence
+transitions triggered by core accesses. It is *behavioral*: transitions
+are applied atomically per access, with additive latency composed from
+the Table 1 parameters — but the events the persistency mechanisms hook
+(evictions, downgrades, invalidations of dirty lines, blocked lines at
+the directory) are modeled individually, because they are exactly what
+differentiates SB/BB/LRP.
+
+Persistency interplay (who calls whom):
+
+* The :class:`~repro.core.machine.Machine` performs an access through
+  :meth:`CoherenceFabric.access`, which returns the coherence latency
+  plus the list of side effects (victim eviction in the requester's L1,
+  downgrade/invalidation of a remote owner's dirty line).
+* The machine then invokes the active persistency mechanism's hooks for
+  each side effect; the hooks issue NVM persists and return extra stall
+  cycles charged to the requester.
+* Mechanisms may *block* a line at the directory until a persist ack
+  (LRP invariant I4); subsequent accesses to that line wait it out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.coherence.l1cache import CacheLine, L1Cache, MESIState
+from repro.coherence.noc import MeshNoC
+from repro.common.params import MachineConfig
+
+
+@dataclasses.dataclass
+class Downgrade:
+    """A remote owner's line was demoted on behalf of the requester."""
+
+    owner: int
+    line: CacheLine
+    to_state: MESIState          # SHARED (read request) or INVALID (write)
+    had_pending: bool            # dirty words existed before the demotion
+    was_modified: bool = False   # line held modified data (a writeback)
+
+
+@dataclasses.dataclass
+class Eviction:
+    """A victim line displaced from the requester's own L1."""
+
+    core: int
+    line: CacheLine
+    had_pending: bool
+    was_modified: bool = False
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of one coherence access (before persistency stalls)."""
+
+    latency: int
+    l1_hit: bool
+    block_wait: int = 0
+    eviction: Optional[Eviction] = None
+    downgrade: Optional[Downgrade] = None
+    invalidated_sharers: int = 0
+    line: Optional[CacheLine] = None   # the requester's (now valid) line
+
+
+@dataclasses.dataclass
+class _DirEntry:
+    owner: Optional[int] = None        # core holding M or E
+    sharers: Set[int] = dataclasses.field(default_factory=set)
+
+
+class CoherenceFabric:
+    """All L1s + directory + NoC, orchestrating MESI transitions."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self.noc = MeshNoC(config)
+        self.l1s: List[L1Cache] = [
+            L1Cache(core_id, config) for core_id in range(config.num_cores)
+        ]
+        self._dir: Dict[int, _DirEntry] = {}
+        self._blocked_until: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Directory-side services used by persistency mechanisms
+    # ------------------------------------------------------------------
+
+    def block_line_until(self, line_addr: int, time: int) -> None:
+        """Block requests for a line until ``time`` (LRP invariant I4)."""
+        current = self._blocked_until.get(line_addr, 0)
+        self._blocked_until[line_addr] = max(current, time)
+
+    def blocked_until(self, line_addr: int) -> int:
+        return self._blocked_until.get(line_addr, 0)
+
+    def _entry(self, line_addr: int) -> _DirEntry:
+        entry = self._dir.get(line_addr)
+        if entry is None:
+            entry = _DirEntry()
+            self._dir[line_addr] = entry
+        return entry
+
+    def directory_state(self, line_addr: int) -> _DirEntry:
+        """Read-only view of a line's directory entry (for tests)."""
+        return self._entry(line_addr)
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+
+    def access(self, core_id: int, line_addr: int, *, exclusive: bool,
+               now: int) -> AccessResult:
+        """Obtain ``line_addr`` in the required state for ``core_id``.
+
+        Applies all coherence transitions and returns latency plus the
+        side effects; persistency stalls are layered on by the caller.
+        """
+        cfg = self._config
+        l1 = self.l1s[core_id]
+        line = l1.lookup(line_addr)
+        home = self.noc.home_tile(line_addr)
+
+        if line is not None and line.state is not MESIState.INVALID:
+            if not exclusive or line.state in (MESIState.MODIFIED,
+                                               MESIState.EXCLUSIVE):
+                if exclusive and line.state is MESIState.EXCLUSIVE:
+                    line.state = MESIState.MODIFIED  # silent E->M upgrade
+                return AccessResult(latency=cfg.l1_hit_cycles, l1_hit=True,
+                                    line=line)
+            # S -> M upgrade: invalidate the other sharers via the home.
+            return self._upgrade(core_id, line, home, now)
+
+        return self._miss(core_id, line_addr, home, exclusive=exclusive,
+                          now=now)
+
+    def _upgrade(self, core_id: int, line: CacheLine, home: int,
+                 now: int) -> AccessResult:
+        cfg = self._config
+        line_addr = line.addr
+        entry = self._entry(line_addr)
+        arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id, home)
+        block_wait = max(0, self.blocked_until(line_addr) - arrival)
+        invalidated = 0
+        for sharer in list(entry.sharers):
+            if sharer == core_id:
+                continue
+            self._invalidate_sharer(sharer, line_addr)
+            invalidated += 1
+        entry.sharers = set()
+        entry.owner = core_id
+        line.state = MESIState.MODIFIED
+        latency = (cfg.l1_hit_cycles + 2 * self.noc.latency(core_id, home)
+                   + cfg.llc_hit_cycles + block_wait)
+        if invalidated:
+            latency += self.noc.latency(home, core_id)  # inv/ack round, overlapped
+        return AccessResult(latency=latency, l1_hit=False,
+                            block_wait=block_wait,
+                            invalidated_sharers=invalidated, line=line)
+
+    def _miss(self, core_id: int, line_addr: int, home: int, *,
+              exclusive: bool, now: int) -> AccessResult:
+        cfg = self._config
+        l1 = self.l1s[core_id]
+        entry = self._entry(line_addr)
+
+        arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id, home)
+        block_wait = max(0, self.blocked_until(line_addr) - arrival)
+
+        downgrade: Optional[Downgrade] = None
+        latency = (cfg.l1_hit_cycles + self.noc.latency(core_id, home)
+                   + cfg.llc_hit_cycles + block_wait)
+
+        if entry.owner is not None and entry.owner != core_id:
+            owner = entry.owner
+            owner_line = self.l1s[owner].lookup(line_addr, touch=False)
+            if owner_line is None:
+                raise AssertionError(
+                    f"directory names core {owner} owner of "
+                    f"{line_addr:#x} but the line is not resident")
+            to_state = MESIState.INVALID if exclusive else MESIState.SHARED
+            downgrade = Downgrade(
+                owner=owner, line=owner_line, to_state=to_state,
+                had_pending=owner_line.has_pending,
+                was_modified=owner_line.state is MESIState.MODIFIED)
+            latency += (self.noc.latency(home, owner) + cfg.l1_hit_cycles
+                        + self.noc.latency(owner, core_id))
+            if to_state is MESIState.INVALID:
+                self.l1s[owner].remove(line_addr)
+            else:
+                owner_line.state = MESIState.SHARED
+                entry.sharers.add(owner)
+            entry.owner = None
+        else:
+            latency += self.noc.latency(home, core_id)
+
+        invalidated = 0
+        if exclusive:
+            for sharer in list(entry.sharers):
+                if sharer == core_id:
+                    continue
+                self._invalidate_sharer(sharer, line_addr)
+                invalidated += 1
+            entry.sharers = set()
+
+        # Make room in the requester's set.
+        eviction: Optional[Eviction] = None
+        victim = l1.select_victim(line_addr)
+        if victim is not None:
+            eviction = self._evict(core_id, victim)
+
+        if exclusive:
+            new_state = MESIState.MODIFIED
+            entry.owner = core_id
+        elif not entry.sharers and entry.owner is None:
+            new_state = MESIState.EXCLUSIVE
+            entry.owner = core_id
+        else:
+            new_state = MESIState.SHARED
+            entry.sharers.add(core_id)
+
+        filled = l1.fill(line_addr, new_state)
+        return AccessResult(latency=latency, l1_hit=False,
+                            block_wait=block_wait, eviction=eviction,
+                            downgrade=downgrade,
+                            invalidated_sharers=invalidated, line=filled)
+
+    def _invalidate_sharer(self, core_id: int, line_addr: int) -> None:
+        line = self.l1s[core_id].lookup(line_addr, touch=False)
+        if line is not None:
+            if line.has_pending:
+                raise AssertionError(
+                    "a SHARED line must not hold unpersisted writes")
+            self.l1s[core_id].remove(line_addr)
+
+    def _evict(self, core_id: int, victim: CacheLine) -> Eviction:
+        """Displace ``victim`` from ``core_id``'s L1, fixing the directory."""
+        entry = self._entry(victim.addr)
+        if entry.owner == core_id:
+            entry.owner = None
+        entry.sharers.discard(core_id)
+        self.l1s[core_id].remove(victim.addr)
+        return Eviction(core=core_id, line=victim,
+                        had_pending=victim.has_pending,
+                        was_modified=victim.state is MESIState.MODIFIED)
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by the property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> List[str]:
+        """Verify SWMR and directory/cache agreement; return problems."""
+        problems: List[str] = []
+        holders: Dict[int, List[int]] = {}
+        for l1 in self.l1s:
+            for line in l1.iter_lines():
+                holders.setdefault(line.addr, []).append(l1.core_id)
+                if line.state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+                    entry = self._dir.get(line.addr)
+                    if entry is None or entry.owner != l1.core_id:
+                        problems.append(
+                            f"core {l1.core_id} holds {line.addr:#x} in "
+                            f"{line.state.value} without directory ownership")
+        for addr, entry in self._dir.items():
+            if entry.owner is not None:
+                for l1 in self.l1s:
+                    line = l1.lookup(addr, touch=False)
+                    if (l1.core_id != entry.owner and line is not None
+                            and line.state is not MESIState.INVALID):
+                        problems.append(
+                            f"{addr:#x} owned by {entry.owner} but also "
+                            f"valid in core {l1.core_id}")
+        for addr, cores in holders.items():
+            m_holders = [
+                c for c in cores
+                if self.l1s[c].lookup(addr, touch=False).state
+                in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+            ]
+            if len(m_holders) > 1:
+                problems.append(
+                    f"SWMR violated for {addr:#x}: M/E in cores {m_holders}")
+        return problems

@@ -1,0 +1,153 @@
+"""Private L1 data cache with MESI state and LRP per-line metadata.
+
+Each line carries, beyond its coherence state:
+
+* ``pending_words`` — dirty word values not yet persisted to NVM, each
+  tagged with the youngest store event that produced it (coalescing);
+* ``min_epoch`` — the epoch of the *earliest* unpersisted write to the
+  line (Section 5.2.1, Figure 3b);
+* ``release_bit`` — whether the line holds a value written by a release.
+
+The same two metadata fields serve the BB mechanism (per-line epoch-id
+of cache-based buffered epoch persistency, Section 2.2.1) — this is
+faithful to the paper, which frames LRP's metadata as an extension of
+the cache-based BEP approach.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.params import MachineConfig
+
+Word = Optional[int]
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclasses.dataclass
+class CacheLine:
+    """One L1 cache line (tag + coherence + persistency metadata)."""
+
+    addr: int                      # line-aligned base address
+    state: MESIState = MESIState.INVALID
+    # Persistency metadata -------------------------------------------------
+    pending_words: Dict[int, Tuple[Word, int]] = dataclasses.field(
+        default_factory=dict)      # word addr -> (value, store event id)
+    min_epoch: Optional[int] = None
+    release_bit: bool = False
+    # Replacement ----------------------------------------------------------
+    lru_tick: int = 0
+
+    @property
+    def has_pending(self) -> bool:
+        """True if the line holds not-yet-persisted writes."""
+        return bool(self.pending_words)
+
+    @property
+    def is_released(self) -> bool:
+        """Line is dirty and its newest synchronizing write is a release."""
+        return self.has_pending and self.release_bit
+
+    @property
+    def is_only_written(self) -> bool:
+        """Line is dirty with regular writes only (paper terminology)."""
+        return self.has_pending and not self.release_bit
+
+    def record_write(self, word_addr: int, value: Word, event_id: int,
+                     epoch: int) -> None:
+        """Merge a store into the line's pending (unpersisted) words."""
+        if not self.has_pending:
+            self.min_epoch = epoch
+        self.pending_words[word_addr] = (value, event_id)
+
+    def take_persist_payload(self) -> Dict[int, Tuple[Word, int]]:
+        """Snapshot-and-clear the pending words (line persists now)."""
+        payload = dict(self.pending_words)
+        self.pending_words.clear()
+        self.min_epoch = None
+        self.release_bit = False
+        return payload
+
+
+class L1Cache:
+    """Set-associative, LRU, write-back private L1."""
+
+    def __init__(self, core_id: int, config: MachineConfig) -> None:
+        self.core_id = core_id
+        self._config = config
+        self._num_sets = config.l1_num_sets
+        self._assoc = config.l1_assoc
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(self._num_sets)
+        ]
+        self._tick = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self._config.line_bytes) % self._num_sets
+
+    def _touch(self, line: CacheLine) -> None:
+        self._tick += 1
+        line.lru_tick = self._tick
+
+    # ------------------------------------------------------------------
+    # Lookup / fill / evict
+    # ------------------------------------------------------------------
+
+    def lookup(self, line_addr: int, *, touch: bool = True
+               ) -> Optional[CacheLine]:
+        """Return the resident line, or None on a miss."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is not None and touch:
+            self._touch(line)
+        return line
+
+    def select_victim(self, line_addr: int) -> Optional[CacheLine]:
+        """The LRU line that a fill of ``line_addr`` would displace."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        if len(cache_set) < self._assoc:
+            return None
+        return min(cache_set.values(), key=lambda l: l.lru_tick)
+
+    def fill(self, line_addr: int, state: MESIState) -> CacheLine:
+        """Install a line (caller must have evicted the victim first)."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        if line_addr in cache_set:
+            raise ValueError(f"line {line_addr:#x} already resident")
+        if len(cache_set) >= self._assoc:
+            raise ValueError("set full: evict the victim before filling")
+        line = CacheLine(addr=line_addr, state=state)
+        cache_set[line_addr] = line
+        self._touch(line)
+        return line
+
+    def remove(self, line_addr: int) -> CacheLine:
+        """Take a line out of the cache (eviction or invalidation)."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        line = cache_set.pop(line_addr, None)
+        if line is None:
+            raise KeyError(f"line {line_addr:#x} not resident")
+        return line
+
+    # ------------------------------------------------------------------
+    # Scans (persist engine, drain)
+    # ------------------------------------------------------------------
+
+    def iter_lines(self) -> Iterator[CacheLine]:
+        """All resident lines (the persist engine's L1 scan)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def pending_lines(self) -> List[CacheLine]:
+        """All lines holding unpersisted writes."""
+        return [line for line in self.iter_lines() if line.has_pending]
+
+    def resident_count(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,41 @@
+"""2D-mesh on-chip network latency model.
+
+Tiles are laid out on a square mesh (Table 1). Each core sits on its
+own tile together with one LLC bank; a line's *home tile* is selected
+by address interleaving. A message's latency is the Manhattan hop
+distance times the per-hop cost, plus one cycle of router/serialization
+overhead — a deliberately simple deterministic model (contention inside
+the mesh is second-order for the persist-stall effects under study).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import MachineConfig
+
+
+class MeshNoC:
+    """Deterministic hop-latency model of the 2D mesh."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self._dim = config.mesh_dim
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def home_tile(self, line_addr: int) -> int:
+        """The tile whose LLC bank/directory owns this line."""
+        return (line_addr // self._config.line_bytes) % self._config.num_cores
+
+    def hop_distance(self, tile_a: int, tile_b: int) -> int:
+        """Manhattan distance between two tiles on the mesh."""
+        ax, ay = tile_a % self._dim, tile_a // self._dim
+        bx, by = tile_b % self._dim, tile_b // self._dim
+        return abs(ax - bx) + abs(ay - by)
+
+    def latency(self, tile_a: int, tile_b: int) -> int:
+        """One-way message latency between two tiles."""
+        if tile_a == tile_b:
+            return 1
+        return self.hop_distance(tile_a, tile_b) * self._config.noc_hop_cycles + 1

@@ -1,0 +1,16 @@
+"""Shared configuration, statistics and RNG utilities."""
+
+from repro.common.params import DEFAULT_CONFIG, MachineConfig, NVMMode
+from repro.common.stats import CoreStats, RunStats, merge_core_stats
+from repro.common.rng import make_rng, weighted_choice
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "MachineConfig",
+    "NVMMode",
+    "CoreStats",
+    "RunStats",
+    "merge_core_stats",
+    "make_rng",
+    "weighted_choice",
+]

@@ -1,0 +1,157 @@
+"""Machine configuration for the LRP reproduction.
+
+The defaults reproduce Table 1 of the paper (simulator configuration):
+
+    Processor           64-core (out-of-order), 2.5 GHz
+    L1 I+D cache (pvt)  32KB, 2 cycles, 8-way, 64B lines
+    L2 (NUCA, shared)   1MB x 64 tiles, 16-way, 30 cycles
+    On-chip network     2D mesh
+    Coherence           Directory-based MESI
+    NVM (PCM)           cached mode: 120 cycles, uncached mode: 350 cycles
+    RET (private)       32 entries
+
+We model the LLC as capacity-infinite (64MB in the paper vs. our scaled
+working sets: LLC misses to volatile DRAM are not the effect under
+study; the persist path to NVM is modeled in full).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+
+class NVMMode(enum.Enum):
+    """NVM write-persistence latency regime (Section 6.3).
+
+    CACHED models Intel Optane with a battery-backed NVM-side DRAM
+    cache: a writeback persists as soon as it reaches that cache.
+    UNCACHED disables the DRAM cache, exposing raw NVM write latency.
+    """
+
+    CACHED = "cached"
+    UNCACHED = "uncached"
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """All tunables of the simulated machine.
+
+    Instances are immutable; derive variants with
+    :func:`dataclasses.replace`.
+    """
+
+    num_cores: int = 64
+
+    # L1 (private, per core)
+    l1_size_bytes: int = 32 * 1024
+    l1_assoc: int = 8
+    l1_hit_cycles: int = 2
+    line_bytes: int = 64
+
+    # LLC (logically shared, banked per tile)
+    llc_hit_cycles: int = 30
+
+    # 2D-mesh on-chip network
+    noc_hop_cycles: int = 2
+
+    # NVM (PCM-like)
+    nvm_mode: NVMMode = NVMMode.CACHED
+    nvm_cached_cycles: int = 120
+    nvm_uncached_cycles: int = 350
+    # Per-controller occupancy of one line persist (bandwidth model).
+    nvm_cached_occupancy: int = 16
+    nvm_uncached_occupancy: int = 64
+    num_memory_controllers: int = 4
+
+    # BB hardware: maximum epochs a core may have outstanding
+    # (unacknowledged) before a barrier throttles — the bounded
+    # epoch-tag window of cache-based buffered epoch persistency.
+    bb_max_outstanding_epochs: int = 4
+    # Whether BB's inter-epoch ordering is pipelined by the memory
+    # system (ack constrained behind the previous epoch) or enforced
+    # by ack-gated serial drain. Pipelined is the performant design;
+    # the ablation benchmark flips this.
+    bb_pipelined_epochs: bool = True
+
+    # Persist-buffer designs (DPO/HOPS): per-core capacity of
+    # unacknowledged word persists before the core back-pressures.
+    persist_buffer_entries: int = 32
+
+    # LRP hardware (Section 5.2.1)
+    ret_entries: int = 32
+    ret_watermark: int = 24  # persist oldest release when RET reaches this
+    epoch_bits: int = 8      # epoch-id counter width; wrap flushes the L1
+
+    # Fixed non-memory work charged between memory operations, standing
+    # in for the ALU/branch instructions of the real workloads.
+    compute_cycles_per_op: int = 1
+
+    def __post_init__(self) -> None:
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        if self.l1_size_bytes % (self.line_bytes * self.l1_assoc):
+            raise ValueError("L1 size must be divisible by assoc * line size")
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if not 0 < self.ret_watermark <= self.ret_entries:
+            raise ValueError("ret_watermark must be in (0, ret_entries]")
+
+    @property
+    def l1_num_sets(self) -> int:
+        """Number of sets in each private L1."""
+        return self.l1_size_bytes // (self.line_bytes * self.l1_assoc)
+
+    @property
+    def line_offset_bits(self) -> int:
+        """Bits of the address that select a byte within a line."""
+        return int(math.log2(self.line_bytes))
+
+    @property
+    def nvm_persist_cycles(self) -> int:
+        """Latency until a line persist is acknowledged, per mode."""
+        if self.nvm_mode is NVMMode.CACHED:
+            return self.nvm_cached_cycles
+        return self.nvm_uncached_cycles
+
+    @property
+    def nvm_occupancy_cycles(self) -> int:
+        """Controller occupancy of one line persist, per mode."""
+        if self.nvm_mode is NVMMode.CACHED:
+            return self.nvm_cached_occupancy
+        return self.nvm_uncached_occupancy
+
+    @property
+    def epoch_limit(self) -> int:
+        """Value at which the per-thread epoch-id counter wraps."""
+        return 1 << self.epoch_bits
+
+    @property
+    def mesh_dim(self) -> int:
+        """Side length of the (square-ish) 2D mesh of tiles."""
+        return max(1, int(math.ceil(math.sqrt(self.num_cores))))
+
+    def describe(self) -> str:
+        """Human-readable configuration table (mirrors Table 1)."""
+        rows = [
+            ("Processor", f"{self.num_cores}-core"),
+            ("L1 I+D-Cache (pvt.)",
+             f"{self.l1_size_bytes // 1024}KB, {self.l1_hit_cycles} cycles, "
+             f"{self.l1_assoc}-way"),
+            ("line-width", f"{self.line_bytes}B"),
+            ("L2 (NUCA, shared)", f"{self.llc_hit_cycles} cycles"),
+            ("On-chip Network",
+             f"2D-Mesh ({self.mesh_dim}x{self.mesh_dim}, "
+             f"{self.noc_hop_cycles} cycles/hop)"),
+            ("Coherence", "Directory-based, MESI"),
+            ("NVM (PCM)",
+             f"cached mode: {self.nvm_cached_cycles} cycles, "
+             f"uncached mode: {self.nvm_uncached_cycles} cycles"),
+            ("RET (private)", f"{self.ret_entries} Entries"),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+DEFAULT_CONFIG = MachineConfig()

@@ -1,0 +1,158 @@
+"""Counter and aggregate statistics collected during simulation.
+
+Two levels of statistics exist:
+
+* :class:`CoreStats` — per hardware thread (memory ops, misses, stalls,
+  writebacks split by critical-path vs. background).
+* :class:`RunStats` — whole-machine aggregation plus derived metrics
+  used by the benchmark harness (Figures 5-8 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List
+
+
+@dataclasses.dataclass
+class CoreStats:
+    """Event counters for a single simulated hardware thread."""
+
+    core_id: int = 0
+
+    reads: int = 0
+    writes: int = 0
+    rmws: int = 0
+    acquires: int = 0
+    releases: int = 0
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    evictions: int = 0
+    downgrades_received: int = 0
+    invalidations_received: int = 0
+
+    # Persistency accounting.
+    persists_issued: int = 0
+    writebacks_total: int = 0
+    writebacks_critical: int = 0   # on the issuing thread's critical path
+    persist_stall_cycles: int = 0  # cycles the thread blocked on persists
+    barrier_count: int = 0
+    #: Stall cycles by cause ("barrier", "inter-thread", "eviction",
+    #: "write-conflict", "rmw-acquire", "epoch-window", ...).
+    stall_reasons: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    cycles: int = 0                # this thread's final local clock
+    ops_completed: int = 0         # data-structure operations finished
+
+    @property
+    def critical_writeback_fraction(self) -> float:
+        """Fraction of writebacks on the critical path (Figure 6)."""
+        if self.writebacks_total == 0:
+            return 0.0
+        return self.writebacks_critical / self.writebacks_total
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Aggregate statistics for one complete simulation run."""
+
+    mechanism: str
+    workload: str
+    num_threads: int
+    per_core: List[CoreStats] = dataclasses.field(default_factory=list)
+
+    def _total(self, field: str) -> int:
+        return sum(getattr(c, field) for c in self.per_core)
+
+    @property
+    def execution_cycles(self) -> int:
+        """Wall-clock of the run: the slowest thread's final clock."""
+        return max((c.cycles for c in self.per_core), default=0)
+
+    @property
+    def total_ops(self) -> int:
+        return self._total("ops_completed")
+
+    @property
+    def total_persists(self) -> int:
+        return self._total("persists_issued")
+
+    @property
+    def total_writebacks(self) -> int:
+        return self._total("writebacks_total")
+
+    @property
+    def critical_writebacks(self) -> int:
+        return self._total("writebacks_critical")
+
+    @property
+    def critical_writeback_fraction(self) -> float:
+        """Machine-wide fraction of writebacks on the critical path."""
+        total = self.total_writebacks
+        if total == 0:
+            return 0.0
+        return self.critical_writebacks / total
+
+    @property
+    def persist_stall_cycles(self) -> int:
+        return self._total("persist_stall_cycles")
+
+    def stall_breakdown(self) -> Dict[str, int]:
+        """Machine-wide stall cycles by cause."""
+        merged: Dict[str, int] = {}
+        for core in self.per_core:
+            for reason, cycles in core.stall_reasons.items():
+                merged[reason] = merged.get(reason, 0) + cycles
+        return merged
+
+    def overhead_vs(self, baseline: "RunStats") -> float:
+        """Fractional execution-time overhead over ``baseline``.
+
+        Figure 8 reports this as a percentage over volatile (NOP)
+        execution: ``overhead_vs(nop) * 100``.
+        """
+        base = baseline.execution_cycles
+        if base == 0:
+            return 0.0
+        return (self.execution_cycles - base) / base
+
+    def normalized_to(self, baseline: "RunStats") -> float:
+        """Execution time normalized to ``baseline`` (Figure 5/7 y-axis)."""
+        base = baseline.execution_cycles
+        if base == 0:
+            return 0.0
+        return self.execution_cycles / base
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics for reporting."""
+        return {
+            "mechanism": self.mechanism,
+            "workload": self.workload,
+            "threads": self.num_threads,
+            "cycles": self.execution_cycles,
+            "ops": self.total_ops,
+            "persists": self.total_persists,
+            "writebacks": self.total_writebacks,
+            "critical_wb_frac": round(self.critical_writeback_fraction, 4),
+            "persist_stalls": self.persist_stall_cycles,
+        }
+
+
+def merge_core_stats(stats: Iterable[CoreStats]) -> CoreStats:
+    """Sum a collection of :class:`CoreStats` into one (for reporting)."""
+    merged = CoreStats(core_id=-1)
+    numeric_fields = [
+        f.name for f in dataclasses.fields(CoreStats)
+        if f.name not in ("core_id", "stall_reasons")
+    ]
+    for stat in stats:
+        for name in numeric_fields:
+            if name == "cycles":
+                merged.cycles = max(merged.cycles, stat.cycles)
+            else:
+                setattr(merged, name, getattr(merged, name) + getattr(stat, name))
+        for reason, cycles in stat.stall_reasons.items():
+            merged.stall_reasons[reason] = (
+                merged.stall_reasons.get(reason, 0) + cycles)
+    return merged

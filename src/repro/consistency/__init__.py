@@ -1,0 +1,17 @@
+"""Memory-consistency formalism: events, happens-before, litmus tests."""
+
+from repro.consistency.events import (
+    EventKind,
+    MemOrder,
+    MemoryEvent,
+    Trace,
+)
+from repro.consistency.happens_before import HappensBefore
+
+__all__ = [
+    "EventKind",
+    "MemOrder",
+    "MemoryEvent",
+    "Trace",
+    "HappensBefore",
+]

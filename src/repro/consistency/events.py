@@ -1,0 +1,212 @@
+"""Memory events and execution traces.
+
+Every memory operation executed on the simulated machine is recorded as
+a :class:`MemoryEvent`. The trace is a *total* order (the scheduler
+interleaves threads atomically per memory operation, which yields a
+sequentially consistent — hence RC-legal — execution, mirroring the
+paper's use of a TSO host simulator, Section 6.3).
+
+Events carry C++11-style ordering annotations (:class:`MemOrder`); the
+happens-before construction of :mod:`repro.consistency.happens_before`
+and the persistency mechanisms both key off these annotations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+Word = Optional[int]
+
+
+class MemOrder(enum.Enum):
+    """Ordering annotation of a memory operation."""
+
+    PLAIN = "plain"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    ACQ_REL = "acq_rel"
+
+    @property
+    def has_acquire(self) -> bool:
+        return self in (MemOrder.ACQUIRE, MemOrder.ACQ_REL)
+
+    @property
+    def has_release(self) -> bool:
+        return self in (MemOrder.RELEASE, MemOrder.ACQ_REL)
+
+
+class EventKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    RMW = "rmw"  # compare-and-swap / fetch-op (read + conditional write)
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryEvent:
+    """One executed memory operation.
+
+    ``event_id`` is the position in the global execution order.
+    For an RMW, ``success`` records whether the write part performed
+    (a failed CAS degenerates to an acquire/plain read).
+    """
+
+    event_id: int
+    thread_id: int
+    kind: EventKind
+    order: MemOrder
+    addr: int
+    value: Word = None          # value written (WRITE / successful RMW)
+    read_value: Word = None     # value observed (READ / RMW)
+    reads_from: Optional[int] = None  # event_id of the write observed
+    success: bool = True        # False only for a failed RMW
+
+    @property
+    def is_write_effect(self) -> bool:
+        """True if this event wrote a value to memory."""
+        if self.kind is EventKind.WRITE:
+            return True
+        return self.kind is EventKind.RMW and self.success
+
+    @property
+    def is_read_effect(self) -> bool:
+        """True if this event observed a value from memory."""
+        return self.kind in (EventKind.READ, EventKind.RMW)
+
+    @property
+    def is_release(self) -> bool:
+        """A release write or successful release-RMW (paper notation Rel)."""
+        return self.is_write_effect and self.order.has_release
+
+    @property
+    def is_acquire(self) -> bool:
+        """An acquire read or acquire-RMW (paper notation Acq)."""
+        return self.is_read_effect and self.order.has_acquire
+
+
+class Trace:
+    """Recorder for the global execution order of memory events.
+
+    Maintains the architectural memory (word -> value) and the
+    last-writer map used to derive reads-from edges.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[MemoryEvent] = []
+        self._memory: Dict[int, Word] = {}
+        self._last_writer: Dict[int, int] = {}
+        self._initial: Dict[int, Word] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def initialize(self, values: Dict[int, Word]) -> None:
+        """Install initial memory values (no events are recorded)."""
+        if self.events:
+            raise ValueError("initialize before recording events")
+        self._memory.update(values)
+        self._initial.update(values)
+
+    def initial_value(self, addr: int) -> Word:
+        return self._initial.get(addr)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_read(self, thread_id: int, addr: int,
+                    order: MemOrder = MemOrder.PLAIN) -> MemoryEvent:
+        """Record a load; returns the event (with the observed value)."""
+        event = MemoryEvent(
+            event_id=len(self.events),
+            thread_id=thread_id,
+            kind=EventKind.READ,
+            order=order,
+            addr=addr,
+            read_value=self._memory.get(addr),
+            reads_from=self._last_writer.get(addr),
+        )
+        self.events.append(event)
+        return event
+
+    def record_write(self, thread_id: int, addr: int, value: Word,
+                     order: MemOrder = MemOrder.PLAIN) -> MemoryEvent:
+        """Record a store of ``value``."""
+        event = MemoryEvent(
+            event_id=len(self.events),
+            thread_id=thread_id,
+            kind=EventKind.WRITE,
+            order=order,
+            addr=addr,
+            value=value,
+        )
+        self.events.append(event)
+        self._memory[addr] = value
+        self._last_writer[addr] = event.event_id
+        return event
+
+    def record_rmw(self, thread_id: int, addr: int, expected: Word,
+                   new_value: Word,
+                   order: MemOrder = MemOrder.ACQ_REL) -> MemoryEvent:
+        """Record a compare-and-swap; the write performs iff it matches."""
+        observed = self._memory.get(addr)
+        success = observed == expected
+        event = MemoryEvent(
+            event_id=len(self.events),
+            thread_id=thread_id,
+            kind=EventKind.RMW,
+            order=order,
+            addr=addr,
+            value=new_value if success else None,
+            read_value=observed,
+            reads_from=self._last_writer.get(addr),
+            success=success,
+        )
+        self.events.append(event)
+        if success:
+            self._memory[addr] = new_value
+            self._last_writer[addr] = event.event_id
+        return event
+
+    def record_unconditional_rmw(self, thread_id: int, addr: int,
+                                 new_value: Word,
+                                 order: MemOrder = MemOrder.ACQ_REL
+                                 ) -> MemoryEvent:
+        """Record an atomic exchange (always-successful RMW)."""
+        observed = self._memory.get(addr)
+        event = MemoryEvent(
+            event_id=len(self.events),
+            thread_id=thread_id,
+            kind=EventKind.RMW,
+            order=order,
+            addr=addr,
+            value=new_value,
+            read_value=observed,
+            reads_from=self._last_writer.get(addr),
+            success=True,
+        )
+        self.events.append(event)
+        self._memory[addr] = new_value
+        self._last_writer[addr] = event.event_id
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int) -> Word:
+        """Current architectural value of ``addr``."""
+        return self._memory.get(addr)
+
+    def memory_snapshot(self) -> Dict[int, Word]:
+        """Copy of the full architectural memory."""
+        return dict(self._memory)
+
+    def last_writer_snapshot(self) -> Dict[int, int]:
+        """Copy of the word -> youngest-writer-event map."""
+        return dict(self._last_writer)
+
+    def writes(self) -> List[MemoryEvent]:
+        """All events with a write effect, in execution order."""
+        return [e for e in self.events if e.is_write_effect]

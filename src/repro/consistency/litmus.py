@@ -1,0 +1,145 @@
+"""Litmus-test infrastructure: tiny multi-threaded programs over traces.
+
+A litmus program is a list of per-thread operation lists; an
+interleaving (schedule) turns it into a concrete :class:`Trace` that
+the model predicates of :mod:`repro.persistency.rp_model` can judge.
+
+The canned :func:`figure1_insert` program is the paper's running
+example (Figure 1): thread 0 prepares node A1 and links it with a
+release-CAS; thread 1 acquires the link and inserts B2 after it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.consistency.events import MemOrder, MemoryEvent, Trace
+
+Word = Optional[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class LitmusOp:
+    """One operation of a litmus program."""
+
+    kind: str                   # "r", "w", or "cas"
+    addr: int
+    value: Word = None          # written value (w / cas new value)
+    expected: Word = None       # cas comparison value
+    order: MemOrder = MemOrder.PLAIN
+
+
+def read(addr: int, order: MemOrder = MemOrder.PLAIN) -> LitmusOp:
+    return LitmusOp("r", addr, order=order)
+
+
+def write(addr: int, value: Word,
+          order: MemOrder = MemOrder.PLAIN) -> LitmusOp:
+    return LitmusOp("w", addr, value=value, order=order)
+
+
+def cas(addr: int, expected: Word, value: Word,
+        order: MemOrder = MemOrder.RELEASE) -> LitmusOp:
+    return LitmusOp("cas", addr, value=value, expected=expected, order=order)
+
+
+Program = Sequence[Sequence[LitmusOp]]
+
+
+def run_interleaving(program: Program, schedule: Sequence[int],
+                     init: Optional[Dict[int, Word]] = None) -> Trace:
+    """Execute ``program`` under a specific thread interleaving.
+
+    ``schedule`` lists thread ids; each entry executes that thread's
+    next operation. The schedule must consume every operation exactly
+    once. ``init`` supplies initial memory values.
+    """
+    cursors = [0] * len(program)
+    trace = Trace()
+    if init:
+        trace.initialize(init)
+    for thread_id in schedule:
+        ops = program[thread_id]
+        index = cursors[thread_id]
+        if index >= len(ops):
+            raise ValueError(f"schedule overruns thread {thread_id}")
+        op = ops[index]
+        cursors[thread_id] = index + 1
+        if op.kind == "r":
+            trace.record_read(thread_id, op.addr, op.order)
+        elif op.kind == "w":
+            trace.record_write(thread_id, op.addr, op.value, op.order)
+        elif op.kind == "cas":
+            trace.record_rmw(thread_id, op.addr, op.expected, op.value,
+                             op.order)
+        else:
+            raise ValueError(f"unknown litmus op kind {op.kind!r}")
+    for thread_id, cursor in enumerate(cursors):
+        if cursor != len(program[thread_id]):
+            raise ValueError(f"schedule leaves thread {thread_id} "
+                             f"unfinished ({cursor}/{len(program[thread_id])})")
+    return trace
+
+
+def all_interleavings(program: Program) -> Iterator[List[int]]:
+    """Every schedule of ``program`` (exponential — keep programs tiny)."""
+    token_lists = [[tid] * len(ops) for tid, ops in enumerate(program)]
+    tokens = list(itertools.chain.from_iterable(token_lists))
+    seen = set()
+    for perm in itertools.permutations(tokens):
+        if perm not in seen:
+            seen.add(perm)
+            yield list(perm)
+
+
+# ----------------------------------------------------------------------
+# The paper's Figure 1 as a litmus program
+# ----------------------------------------------------------------------
+
+#: Simulated addresses for the Figure 1 example.
+FIG1_ADDRS: Dict[str, int] = {
+    "A1.key": 0x100, "A1.val": 0x108, "A1.next": 0x110,
+    "N1.next": 0x200,
+    "B2.key": 0x300, "B2.val": 0x308, "B2.next": 0x310,
+}
+
+#: Node addresses linked by the CASes.
+FIG1_A1 = 0x100
+FIG1_B2 = 0x300
+FIG1_N2 = 0x900
+
+
+def figure1_insert() -> Program:
+    """Figure 1: T0 inserts node A1, then T1 inserts B2 after reading it.
+
+    T0: W1 (A1 fields)  ;  Rel: CAS(N1.next: N2 -> A1)
+    T1: Acq: read N1.next ; W4 (B2 fields) ; Rel: CAS(A1.next: N2 -> B2)
+    """
+    a = FIG1_ADDRS
+    thread0 = [
+        write(a["A1.key"], 10),
+        write(a["A1.val"], 11),
+        write(a["A1.next"], FIG1_N2),
+        cas(a["N1.next"], FIG1_N2, FIG1_A1, MemOrder.RELEASE),
+    ]
+    thread1 = [
+        read(a["N1.next"], MemOrder.ACQUIRE),
+        write(a["B2.key"], 20),
+        write(a["B2.val"], 21),
+        write(a["B2.next"], FIG1_N2),
+        cas(a["A1.next"], FIG1_N2, FIG1_B2, MemOrder.RELEASE),
+    ]
+    return [thread0, thread1]
+
+
+def figure1_initial_memory() -> Dict[int, Word]:
+    """Initial memory for Figure 1: N1 links to N2."""
+    return {FIG1_ADDRS["N1.next"]: FIG1_N2}
+
+
+def figure1_sequential_schedule() -> List[int]:
+    """T0 completes, then T1 — the synchronizing interleaving."""
+    program = figure1_insert()
+    return [0] * len(program[0]) + [1] * len(program[1])

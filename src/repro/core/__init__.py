@@ -1,0 +1,48 @@
+"""Execution core: machine, scheduler, simulator, crash recovery."""
+
+from repro.core.machine import Machine
+from repro.core.recovery import (
+    CrashCampaign,
+    CrashOutcome,
+    crash_points,
+    crash_test,
+    exhaustive_crash_test,
+)
+from repro.core.replay import (
+    ContinuationResult,
+    RecoveryReplayError,
+    continuation_sweep,
+    recover_and_continue,
+)
+from repro.core.scheduler import Scheduler, SimThread
+from repro.core.simulator import (
+    SimulationResult,
+    simulate,
+    simulate_all_mechanisms,
+)
+from repro.core.thread import Op, OpKind, cas, load, store, work, xchg
+
+__all__ = [
+    "Machine",
+    "CrashCampaign",
+    "CrashOutcome",
+    "crash_points",
+    "crash_test",
+    "exhaustive_crash_test",
+    "ContinuationResult",
+    "RecoveryReplayError",
+    "continuation_sweep",
+    "recover_and_continue",
+    "Scheduler",
+    "SimThread",
+    "SimulationResult",
+    "simulate",
+    "simulate_all_mechanisms",
+    "Op",
+    "OpKind",
+    "cas",
+    "load",
+    "store",
+    "work",
+    "xchg",
+]

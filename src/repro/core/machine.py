@@ -1,0 +1,201 @@
+"""The simulated machine: cores + L1s + directory + NVM + persistency.
+
+:meth:`Machine.execute` carries one memory operation of one hardware
+thread through the full stack:
+
+1. the coherence fabric obtains the line in the needed state (possibly
+   evicting a victim locally and downgrading a remote owner);
+2. the persistency mechanism's hooks run for each coherence side
+   effect and for the operation itself, issuing NVM persists and
+   returning stall cycles;
+3. the architectural effect is recorded in the global trace.
+
+The returned latency is what the scheduler adds to the thread's clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type, Union
+
+from repro.coherence.directory import CoherenceFabric
+from repro.coherence.l1cache import MESIState
+from repro.common.params import MachineConfig
+from repro.common.stats import CoreStats
+from repro.consistency.events import MemOrder, MemoryEvent, Trace
+from repro.core.thread import Op, OpKind
+from repro.memory.address import line_address
+from repro.memory.nvm import NVMController
+from repro.persistency import PersistencyMechanism, mechanism_by_name
+
+Word = Optional[int]
+
+
+class Machine:
+    """One simulated multicore with a pluggable persistency mechanism."""
+
+    def __init__(self, config: MachineConfig,
+                 mechanism: Union[str, Type[PersistencyMechanism]] = "nop",
+                 ) -> None:
+        self.config = config
+        self.fabric = CoherenceFabric(config)
+        self.nvm = NVMController(config)
+        self.trace = Trace()
+        self.stats = [CoreStats(core_id=i) for i in range(config.num_cores)]
+        if isinstance(mechanism, str):
+            mechanism = mechanism_by_name(mechanism)
+        self.mechanism: PersistencyMechanism = mechanism(
+            config, self.nvm, self.fabric, self.stats)
+        self.boundary_event = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, core: int, op: Op, now: int) -> Tuple[object, int]:
+        """Run ``op`` for hardware thread ``core`` at time ``now``.
+
+        Returns ``(result, latency)`` where result is the load value,
+        ``(success, old)`` for a CAS, the old value for an XCHG, or
+        None for stores/work.
+        """
+        if op.kind is OpKind.WORK:
+            return None, op.cycles
+
+        stats = self.stats[core]
+        line_addr = line_address(op.addr, self.config.line_bytes)
+        exclusive = op.kind is not OpKind.READ
+        access = self.fabric.access(core, line_addr, exclusive=exclusive,
+                                    now=now)
+        latency = access.latency
+        if access.l1_hit:
+            stats.l1_hits += 1
+        else:
+            stats.l1_misses += 1
+
+        # Coherence side effects -> persistency hooks.
+        if access.downgrade is not None:
+            dg = access.downgrade
+            self.stats[dg.owner].downgrades_received += 1
+            if dg.was_modified and not dg.had_pending:
+                # A data writeback of an already-persisted line: counts
+                # toward the writeback total (Figure 6's denominator)
+                # but can never be on the critical path.
+                self.stats[dg.owner].writebacks_total += 1
+            latency += self.mechanism.on_downgrade(
+                dg.owner, dg.line, dg.to_state, core, now + latency)
+            if dg.line.has_pending:
+                raise AssertionError(
+                    f"{self.mechanism.name}: downgraded line "
+                    f"{dg.line.addr:#x} still holds unpersisted words")
+        if access.eviction is not None:
+            ev = access.eviction
+            stats.evictions += 1
+            if ev.was_modified and not ev.had_pending:
+                stats.writebacks_total += 1
+            latency += self.mechanism.on_evict(core, ev.line, now + latency)
+            if ev.line.has_pending:
+                raise AssertionError(
+                    f"{self.mechanism.name}: evicted line "
+                    f"{ev.line.addr:#x} still holds unpersisted words")
+        stats.invalidations_received += access.invalidated_sharers
+
+        # The operation itself.
+        if op.kind is OpKind.READ:
+            result, latency = self._do_read(core, op, now, latency)
+        elif op.kind is OpKind.WRITE:
+            result, latency = self._do_write(core, op, access.line, now,
+                                             latency)
+        else:
+            result, latency = self._do_rmw(core, op, access.line, now,
+                                           latency)
+        return result, latency
+
+    def _do_read(self, core: int, op: Op, now: int,
+                 latency: int) -> Tuple[Word, int]:
+        stats = self.stats[core]
+        stats.reads += 1
+        event = self.trace.record_read(core, op.addr, op.order)
+        if event.is_acquire:
+            stats.acquires += 1
+            latency += self.mechanism.on_acquire(
+                core, event, now + latency,
+                sync_source=self._sync_source(event))
+        return event.read_value, latency
+
+    def _do_write(self, core: int, op: Op, line, now: int,
+                  latency: int) -> Tuple[None, int]:
+        stats = self.stats[core]
+        stats.writes += 1
+        event = self.trace.record_write(core, op.addr, op.value, op.order)
+        if event.is_release:
+            stats.releases += 1
+            latency += self.mechanism.on_release(core, line, event,
+                                                 now + latency)
+        else:
+            latency += self.mechanism.on_write(core, line, event,
+                                               now + latency)
+        return None, latency
+
+    def _do_rmw(self, core: int, op: Op, line, now: int,
+                latency: int) -> Tuple[object, int]:
+        stats = self.stats[core]
+        stats.rmws += 1
+        if op.kind is OpKind.CAS:
+            event = self.trace.record_rmw(core, op.addr, op.expected,
+                                          op.value, op.order)
+            result: object = (event.success, event.read_value)
+        else:  # XCHG
+            event = self.trace.record_unconditional_rmw(
+                core, op.addr, op.value, op.order)
+            result = event.read_value
+        if event.is_acquire:
+            stats.acquires += 1
+            latency += self.mechanism.on_acquire(
+                core, event, now + latency,
+                sync_source=self._sync_source(event))
+        if event.success:
+            if event.is_release:
+                stats.releases += 1
+            latency += self.mechanism.on_rmw(core, line, event,
+                                             now + latency)
+        return result, latency
+
+    def _sync_source(self, event: MemoryEvent) -> Optional[int]:
+        """Core whose release this acquire reads from, if any."""
+        if event.reads_from is None:
+            return None
+        source = self.trace.events[event.reads_from]
+        if source.is_release and source.thread_id != event.thread_id:
+            return source.thread_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Phase management
+    # ------------------------------------------------------------------
+
+    def install_initial_state(self, words) -> None:
+        """Install pre-built durable state (the pre-populated LFD).
+
+        Used instead of executing the setup phase op-by-op: the words
+        become both architectural memory and the NVM baseline image, as
+        if a quiesced checkpoint had been taken (Section 6.1: "the data
+        structure size refers to the initial number of nodes ... before
+        statistics are collected").
+        """
+        if self.trace.events:
+            raise ValueError("install initial state before executing ops")
+        self.trace.initialize(words)
+        self.nvm.set_baseline_image(words)
+        self.boundary_event = 0
+
+    def checkpoint(self, now: int) -> None:
+        """Drain all buffers and make the current state the baseline."""
+        self.mechanism.drain(now)
+        self.nvm.set_baseline_image(self.trace.memory_snapshot(),
+                                    self.trace.last_writer_snapshot())
+        self.nvm.reset_log()  # measured phase starts a fresh log
+        self.boundary_event = len(self.trace.events)
+
+    def finish(self, now: int) -> int:
+        """End of run: drain everything so all writes become durable."""
+        return self.mechanism.drain(now)

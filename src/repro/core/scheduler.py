@@ -1,0 +1,94 @@
+"""Deterministic smallest-clock-first scheduler.
+
+Each hardware thread runs a generator coroutine that yields
+:class:`~repro.core.thread.Op` objects. The scheduler always advances
+the runnable thread with the lowest local clock — a conservative
+time-ordered interleaving: memory operations perform atomically in
+(simulated) timestamp order, which yields a sequentially consistent
+execution whose timing reflects contention, persist stalls and cache
+behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable, List, Optional
+
+from repro.core.machine import Machine
+from repro.core.thread import Op
+
+WorkerGen = Generator[Op, object, None]
+WorkerFactory = Callable[[int], WorkerGen]
+
+
+class SimThread:
+    """One hardware thread driving a workload coroutine."""
+
+    def __init__(self, thread_id: int, gen: WorkerGen) -> None:
+        self.thread_id = thread_id
+        self.gen = gen
+        self.clock = 0
+        self.done = False
+        self._pending_result: object = None
+        self._started = False
+
+    def next_op(self) -> Optional[Op]:
+        """Advance the coroutine to its next yielded op (None = done)."""
+        try:
+            if not self._started:
+                self._started = True
+                return next(self.gen)
+            return self.gen.send(self._pending_result)
+        except StopIteration:
+            self.done = True
+            return None
+
+    def deliver(self, result: object) -> None:
+        self._pending_result = result
+
+
+class Scheduler:
+    """Runs worker coroutines on a machine until all complete."""
+
+    def __init__(self, machine: Machine,
+                 workers: Iterable[WorkerFactory]) -> None:
+        self.machine = machine
+        self.threads: List[SimThread] = [
+            SimThread(tid, factory(tid))
+            for tid, factory in enumerate(workers)
+        ]
+        if len(self.threads) > machine.config.num_cores:
+            raise ValueError(
+                f"{len(self.threads)} workers exceed "
+                f"{machine.config.num_cores} cores")
+        self.max_ops: Optional[int] = None   # safety valve for tests
+        self._executed_ops = 0
+
+    def run(self) -> int:
+        """Execute until every thread finishes; returns the makespan."""
+        compute = self.machine.config.compute_cycles_per_op
+        heap = [(t.clock, t.thread_id) for t in self.threads]
+        heapq.heapify(heap)
+        while heap:
+            _, tid = heapq.heappop(heap)
+            thread = self.threads[tid]
+            if thread.done:
+                continue
+            op = thread.next_op()
+            if op is None:
+                self.machine.stats[tid].cycles = thread.clock
+                continue
+            result, latency = self.machine.execute(tid, op, thread.clock)
+            thread.deliver(result)
+            thread.clock += latency + compute
+            self._executed_ops += 1
+            if self.max_ops is not None and self._executed_ops > self.max_ops:
+                raise RuntimeError(
+                    f"scheduler exceeded max_ops={self.max_ops} — "
+                    "possible livelock in a workload")
+            heapq.heappush(heap, (thread.clock, tid))
+        return self.makespan()
+
+    def makespan(self) -> int:
+        """The slowest thread's final clock (run wall-time in cycles)."""
+        return max((t.clock for t in self.threads), default=0)

@@ -1,0 +1,112 @@
+"""Top-level simulation driver: spec + mechanism -> results.
+
+:func:`simulate` assembles a machine, installs the pre-populated LFD as
+the durable baseline, runs the workers to completion, drains the
+buffers and returns everything the benchmarks and recovery experiments
+need (statistics, trace, NVM persist log, the structure itself).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.common.params import DEFAULT_CONFIG, MachineConfig
+from repro.common.stats import RunStats
+from repro.core.machine import Machine
+from repro.core.scheduler import Scheduler
+from repro.lfds import LogFreeStructure
+from repro.workloads.harness import (
+    Outcome,
+    WorkloadSpec,
+    build_initial_memory,
+    build_workers,
+    expected_final_keys,
+    make_structure,
+)
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything produced by one simulation run."""
+
+    spec: WorkloadSpec
+    mechanism: str
+    config: MachineConfig
+    machine: Machine
+    structure: LogFreeStructure
+    outcomes: List[List[Outcome]]
+    stats: RunStats
+    makespan: int
+
+    @property
+    def trace(self):
+        return self.machine.trace
+
+    @property
+    def nvm(self):
+        return self.machine.nvm
+
+    def verify_final_state(self) -> None:
+        """Assert the structure's final contents match the oracle."""
+        expected = expected_final_keys(self.spec, self.outcomes)
+        actual = self.structure.collect_keys(
+            self.trace.memory_snapshot())
+        if actual != expected:
+            missing = sorted(expected - actual)[:10]
+            extra = sorted(actual - expected)[:10]
+            raise AssertionError(
+                f"final-state mismatch for {self.spec.structure}: "
+                f"missing={missing} extra={extra}")
+
+    def verify_durable_final_state(self) -> None:
+        """Assert the drained NVM image equals the architectural state
+        for every word the measured phase wrote."""
+        image = self.nvm.final_image()
+        memory = self.trace.memory_snapshot()
+        stale = [
+            addr for addr, value in memory.items()
+            if image.get(addr) != value
+        ]
+        if stale:
+            raise AssertionError(
+                f"{len(stale)} words differ between NVM and memory "
+                f"after drain, e.g. {stale[:5]}")
+
+
+def simulate(spec: WorkloadSpec,
+             mechanism: str = "lrp",
+             config: Optional[MachineConfig] = None) -> SimulationResult:
+    """Run one full benchmark configuration."""
+    config = config or DEFAULT_CONFIG
+    if spec.num_threads > config.num_cores:
+        config = dataclasses.replace(config, num_cores=spec.num_threads)
+    machine = Machine(config, mechanism)
+    structure = make_structure(spec, config)
+    machine.install_initial_state(build_initial_memory(spec, structure))
+
+    outcomes: List[List[Outcome]] = [[] for _ in range(spec.num_threads)]
+    workers = build_workers(spec, structure, outcomes, machine.stats)
+    scheduler = Scheduler(machine, workers)
+    makespan = scheduler.run()
+    machine.finish(makespan)
+
+    stats = RunStats(
+        mechanism=machine.mechanism.name,
+        workload=spec.structure,
+        num_threads=spec.num_threads,
+        per_core=machine.stats[:spec.num_threads],
+    )
+    return SimulationResult(
+        spec=spec, mechanism=machine.mechanism.name, config=config,
+        machine=machine, structure=structure, outcomes=outcomes,
+        stats=stats, makespan=makespan)
+
+
+def simulate_all_mechanisms(
+        spec: WorkloadSpec,
+        mechanisms: List[str] = ("nop", "sb", "bb", "lrp"),
+        config: Optional[MachineConfig] = None
+) -> Dict[str, SimulationResult]:
+    """Run the same spec under several mechanisms (Figure 5/7 rows)."""
+    return {name: simulate(spec, name, config) for name in mechanisms}

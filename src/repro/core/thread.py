@@ -1,0 +1,79 @@
+"""Thread-side operation vocabulary for workload code.
+
+Workloads are written as Python *generator coroutines*: every memory
+access is a ``yield`` of an :class:`Op`, and the scheduler sends back
+the result (the loaded value, or a ``(success, old_value)`` pair for a
+CAS). The yield points are exactly the places where the scheduler may
+interleave another hardware thread — i.e. workloads run with memory-op
+granularity concurrency, like the binary-instrumented workloads of the
+paper's Pin-based setup.
+
+Example::
+
+    def increment(counter_addr):
+        while True:
+            old = yield load(counter_addr, MemOrder.ACQUIRE)
+            ok, _ = yield cas(counter_addr, old, old + 1,
+                              MemOrder.RELEASE)
+            if ok:
+                return old + 1
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.consistency.events import MemOrder
+
+Word = Optional[int]
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    CAS = "cas"
+    XCHG = "xchg"
+    WORK = "work"       # pure compute: consumes cycles, touches nothing
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """One operation yielded by workload code to the scheduler."""
+
+    kind: OpKind
+    addr: int = 0
+    value: Word = None
+    expected: Word = None
+    order: MemOrder = MemOrder.PLAIN
+    cycles: int = 0
+
+
+def load(addr: int, order: MemOrder = MemOrder.PLAIN) -> Op:
+    """A load; the yield returns the value read."""
+    return Op(OpKind.READ, addr=addr, order=order)
+
+
+def store(addr: int, value: Word,
+          order: MemOrder = MemOrder.PLAIN) -> Op:
+    """A store; the yield returns None."""
+    return Op(OpKind.WRITE, addr=addr, value=value, order=order)
+
+
+def cas(addr: int, expected: Word, value: Word,
+        order: MemOrder = MemOrder.RELEASE) -> Op:
+    """Compare-and-swap; the yield returns ``(success, old_value)``."""
+    return Op(OpKind.CAS, addr=addr, value=value, expected=expected,
+              order=order)
+
+
+def xchg(addr: int, value: Word,
+         order: MemOrder = MemOrder.ACQ_REL) -> Op:
+    """Atomic exchange; the yield returns the old value."""
+    return Op(OpKind.XCHG, addr=addr, value=value, order=order)
+
+
+def work(cycles: int) -> Op:
+    """Pure computation: advances the thread clock only."""
+    return Op(OpKind.WORK, cycles=cycles)

@@ -1,0 +1,62 @@
+"""The five log-free data structures of the paper's evaluation."""
+
+from repro.lfds.base import (
+    KEY_MAX,
+    KEY_MIN,
+    NULL,
+    LogFreeStructure,
+    RecoveryReport,
+    field,
+    is_marked,
+    mark,
+    unmark,
+)
+from repro.lfds.linkedlist import LinkedList
+from repro.lfds.hashmap import HashMap
+from repro.lfds.bst import BinarySearchTree
+from repro.lfds.nmbst import NMTree
+from repro.lfds.skiplist import SkipList
+from repro.lfds.queue import MichaelScottQueue
+
+STRUCTURES = {
+    cls.name: cls
+    for cls in (LinkedList, HashMap, BinarySearchTree, NMTree, SkipList,
+                MichaelScottQueue)
+}
+
+#: Workload order used throughout the paper's figures. ``bstree`` is
+#: the Natarajan-Mittal external tree (SynchroBench's BST);
+#: ``bstree_tomb`` is a simpler tombstone-delete variant kept for
+#: ablations and extra correctness coverage.
+WORKLOAD_NAMES = ["linkedlist", "hashmap", "bstree", "skiplist", "queue"]
+
+
+def structure_by_name(name: str):
+    """Look up an LFD class by its workload name."""
+    try:
+        return STRUCTURES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None
+
+
+__all__ = [
+    "KEY_MAX",
+    "KEY_MIN",
+    "NULL",
+    "LogFreeStructure",
+    "RecoveryReport",
+    "field",
+    "is_marked",
+    "mark",
+    "unmark",
+    "LinkedList",
+    "HashMap",
+    "BinarySearchTree",
+    "SkipList",
+    "MichaelScottQueue",
+    "STRUCTURES",
+    "WORKLOAD_NAMES",
+    "structure_by_name",
+]

@@ -1,0 +1,215 @@
+"""Harris lock-free sorted linked list — the shared list engine.
+
+Implements Harris's algorithm [DISC'01] over a *head pointer word*:
+both the standalone linked list and every bucket of Michael's hash
+table [SPAA'02] run on this engine (Michael's lists are exactly
+Harris lists rooted at a bucket word).
+
+Annotation discipline (the DRF labelling of Section 6.1):
+
+* link-word loads during traversal: **acquire**;
+* the linking / marking / unlinking CASes: **release**;
+* node-field initialization stores and key loads: plain.
+
+Deletion is two-phase: a release-CAS sets the mark bit in the victim's
+next word (logical delete, the linearization point), then the node is
+physically unlinked by a best-effort CAS — traversals help unlink any
+marked node they encounter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.consistency.events import MemOrder
+from repro.core.thread import cas, load, store
+from repro.lfds.base import (
+    KEY_MIN,
+    NULL,
+    OpGen,
+    Word,
+    alloc_header_write,
+    field,
+    free_header_write,
+    header_addr,
+    is_marked,
+    mark,
+    unmark,
+)
+from repro.memory.address import HeapAllocator
+
+# Node layout: [key, value, next]
+KEY, VALUE, NEXT = 0, 1, 2
+NODE_WORDS = 3
+
+
+class HarrisListOps:
+    """Harris-list operations rooted at an arbitrary pointer word."""
+
+    def __init__(self, allocator: HeapAllocator) -> None:
+        self.allocator = allocator
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def search(self, head_ptr: int, key: int) -> OpGen:
+        """Find the insertion window for ``key``.
+
+        Returns ``(pred_ptr, curr, curr_key)`` where ``pred_ptr`` is
+        the address of the link word pointing at ``curr`` (an unmarked
+        node with ``curr_key >= key``, or NULL at list end). Helps
+        unlink marked nodes along the way.
+        """
+        while True:
+            pred_ptr = head_ptr
+            raw = yield load(pred_ptr, MemOrder.ACQUIRE)
+            curr = unmark(raw) if raw is not None else NULL
+            restart = False
+            while True:
+                if curr == NULL:
+                    return pred_ptr, NULL, None
+                nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
+                if is_marked(nxt):
+                    # curr is logically deleted: help unlink it.
+                    ok, _ = yield cas(pred_ptr, curr, unmark(nxt),
+                                      MemOrder.RELEASE)
+                    if not ok:
+                        restart = True
+                        break
+                    curr = unmark(nxt)
+                    continue
+                curr_key = yield load(field(curr, KEY))
+                if curr_key >= key:
+                    return pred_ptr, curr, curr_key
+                pred_ptr = field(curr, NEXT)
+                curr = nxt if nxt is not None else NULL
+            if restart:
+                continue
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(self, head_ptr: int, key: int, value: int,
+               allocator: Optional[HeapAllocator] = None) -> OpGen:
+        """Insert ``key``; True iff it was absent."""
+        allocator = allocator or self.allocator
+        while True:
+            pred_ptr, curr, curr_key = yield from self.search(head_ptr, key)
+            if curr != NULL and curr_key == key:
+                return False
+            node = allocator.alloc(NODE_WORDS + 1) + 8
+            yield alloc_header_write(node, NODE_WORDS)
+            yield store(field(node, KEY), key)
+            yield store(field(node, VALUE), value)
+            yield store(field(node, NEXT), curr)
+            ok, _ = yield cas(pred_ptr, curr, node, MemOrder.RELEASE)
+            if ok:
+                return True
+            # Window moved: retry (the unnlinked node is simply leaked,
+            # as in reclamation-free persistent-LFD benchmarks).
+
+    def delete(self, head_ptr: int, key: int) -> OpGen:
+        """Delete ``key``; True iff it was present."""
+        while True:
+            pred_ptr, curr, curr_key = yield from self.search(head_ptr, key)
+            if curr == NULL or curr_key != key:
+                return False
+            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
+            if is_marked(nxt):
+                continue  # a concurrent delete got here first: retry
+            succ = nxt if nxt is not None else NULL
+            ok, _ = yield cas(field(curr, NEXT), succ, mark(succ),
+                              MemOrder.RELEASE)
+            if not ok:
+                continue
+            # Best-effort physical unlink; traversals will help if lost.
+            yield cas(pred_ptr, curr, succ, MemOrder.RELEASE)
+            # Free the node: the malloc-metadata store of SynchroBench's
+            # node reclamation (the chunk belongs to another thread's
+            # arena most of the time).
+            yield free_header_write(curr)
+            return True
+
+    def contains(self, head_ptr: int, key: int) -> OpGen:
+        """Wait-free membership test."""
+        raw = yield load(head_ptr, MemOrder.ACQUIRE)
+        curr = unmark(raw) if raw is not None else NULL
+        while curr != NULL:
+            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
+            curr_key = yield load(field(curr, KEY))
+            if curr_key == key:
+                return not is_marked(nxt)
+            if curr_key > key:
+                return False
+            curr = unmark(nxt) if nxt is not None else NULL
+        return False
+
+    # ------------------------------------------------------------------
+    # Direct-memory build / inspection (no simulated ops)
+    # ------------------------------------------------------------------
+
+    def build_chain(self, head_ptr: int, keys: Iterable[int],
+                    memory: Dict[int, Word], value_of) -> None:
+        """Materialize a sorted chain into ``memory`` at ``head_ptr``.
+
+        Initial-build nodes are line-aligned: with the reproduction's
+        compressed key space, packing unrelated keys into one line
+        would create false sharing that the paper's 64K-1M-node
+        structures do not exhibit.
+        """
+        sorted_keys = sorted(set(keys))
+        node_addrs = [
+            self.allocator.alloc(NODE_WORDS + 1, line_align=True) + 8
+            for _ in sorted_keys
+        ]
+        memory[head_ptr] = node_addrs[0] if node_addrs else NULL
+        for i, (key, addr) in enumerate(zip(sorted_keys, node_addrs)):
+            memory[header_addr(addr)] = NODE_WORDS
+            memory[field(addr, KEY)] = key
+            memory[field(addr, VALUE)] = value_of(key)
+            memory[field(addr, NEXT)] = (
+                node_addrs[i + 1] if i + 1 < len(node_addrs) else NULL)
+
+    def walk(self, image: Dict[int, Word], head_ptr: int,
+             max_nodes: int) -> Tuple[List[str], int, Set[int]]:
+        """Validate a chain in a crash image.
+
+        Returns (problems, reachable node count, live key set). A
+        reachable node with missing (never-persisted) fields is the
+        tell-tale ARP failure of Figure 1.
+        """
+        problems: List[str] = []
+        live: Set[int] = set()
+        raw = image.get(head_ptr)
+        if raw is None:
+            problems.append(f"head pointer {head_ptr:#x} not in NVM")
+            return problems, 0, live
+        curr = unmark(raw)
+        prev_key = KEY_MIN
+        count = 0
+        while curr != NULL:
+            count += 1
+            if count > max_nodes:
+                problems.append(
+                    f"chain from {head_ptr:#x} exceeds {max_nodes} nodes "
+                    "(cycle or corruption)")
+                break
+            key = image.get(field(curr, KEY))
+            value = image.get(field(curr, VALUE))
+            nxt = image.get(field(curr, NEXT))
+            if key is None or value is None or nxt is None:
+                problems.append(
+                    f"node {curr:#x} is linked into the chain but its "
+                    "fields never persisted (inconsistent cut)")
+                break
+            if key <= prev_key:
+                problems.append(
+                    f"chain ordering violated at node {curr:#x}: "
+                    f"{key} after {prev_key}")
+            if not is_marked(nxt):
+                live.add(key)
+            prev_key = key
+            curr = unmark(nxt)
+        return problems, count, live

@@ -1,0 +1,375 @@
+"""The Natarajan–Mittal lock-free external BST (PPoPP'14).
+
+This is the algorithm behind SynchroBench's "balanced tree" workload
+the paper evaluates. It is *external*: internal nodes only route
+(both children always present), leaves carry the keys. Deletion is
+edge-based: the deleter **flags** the parent→leaf edge (the
+linearization point), **tags** the sibling edge to freeze it, then
+**splices** the parent out by swinging the ancestor's edge to the
+sibling — with every traversal helping complete flagged/tagged
+operations it encounters.
+
+Tag bits live in the low bits of child-pointer words (nodes are
+8-byte aligned): bit 0 = FLAG (leaf under deletion), bit 1 = TAG
+(edge frozen for a splice).
+
+Compared with the tombstone BST (`repro.lfds.bst`), every update here
+allocates/frees real nodes (insert: a leaf + an internal; delete:
+frees both), reproducing the write-intensity that makes BST the
+paper's biggest LRP-over-BB win.
+
+Annotations follow the DRF discipline: child-pointer loads are
+acquires, the flag/tag/splice/insert CASes are releases, node
+initialization is plain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.consistency.events import MemOrder
+from repro.core.thread import cas, load, store
+from repro.lfds.base import (
+    KEY_MAX,
+    LogFreeStructure,
+    NULL,
+    OpGen,
+    RecoveryReport,
+    Word,
+    alloc_header_write,
+    field,
+    free_header_write,
+    header_addr,
+)
+from repro.memory.address import HeapAllocator
+
+# Node layout: [key, value, left, right]; a leaf has left == right == NULL.
+KEY, VALUE, LEFT, RIGHT = 0, 1, 2, 3
+NODE_WORDS = 4
+
+FLAG = 1
+TAG = 2
+
+#: Sentinel keys (all real keys are smaller than INF0).
+INF0 = KEY_MAX
+INF1 = KEY_MAX + 1
+INF2 = KEY_MAX + 2
+
+
+def addr_of(raw: Word) -> int:
+    """Pointer payload of a child word (mark bits stripped)."""
+    if raw is None:
+        return NULL
+    return raw & ~(FLAG | TAG)
+
+
+def is_flagged(raw: Word) -> bool:
+    return raw is not None and bool(raw & FLAG)
+
+
+def is_tagged(raw: Word) -> bool:
+    return raw is not None and bool(raw & TAG)
+
+
+class _SeekRecord:
+    """The four path positions NM's seek tracks (their Figure 2)."""
+
+    __slots__ = ("ancestor", "successor", "parent", "leaf")
+
+    def __init__(self, ancestor: int, successor: int, parent: int,
+                 leaf: int) -> None:
+        self.ancestor = ancestor
+        self.successor = successor
+        self.parent = parent
+        self.leaf = leaf
+
+
+class NMTree(LogFreeStructure):
+    """Natarajan–Mittal lock-free external binary search tree.
+
+    This is the paper's ``bstree`` workload (SynchroBench's tree).
+    """
+
+    name = "bstree"
+
+    def __init__(self, allocator: HeapAllocator,
+                 max_nodes: int = 1 << 22) -> None:
+        super().__init__(allocator)
+        self._max_nodes = max_nodes
+        # Sentinel skeleton: R(INF2) -> (S(INF1), leaf(INF2));
+        # S(INF1) -> (leaf(INF0), leaf(INF1)). Every real key routes
+        # to S's left subtree.
+        self._skeleton: Dict[int, Word] = {}
+        self.R = self._static_node(INF2, self._skeleton)
+        self.S = self._static_node(INF1, self._skeleton)
+        leaf_inf0 = self._static_node(INF0, self._skeleton)
+        leaf_inf1 = self._static_node(INF1, self._skeleton)
+        leaf_inf2 = self._static_node(INF2, self._skeleton)
+        self._skeleton[field(self.R, LEFT)] = self.S
+        self._skeleton[field(self.R, RIGHT)] = leaf_inf2
+        self._skeleton[field(self.S, LEFT)] = leaf_inf0
+        self._skeleton[field(self.S, RIGHT)] = leaf_inf1
+
+    def _static_node(self, key: int, memory: Dict[int, Word]) -> int:
+        node = self.allocator.alloc(NODE_WORDS + 1, line_align=True) + 8
+        memory[header_addr(node)] = NODE_WORDS
+        memory[field(node, KEY)] = key
+        memory[field(node, VALUE)] = 0
+        memory[field(node, LEFT)] = NULL
+        memory[field(node, RIGHT)] = NULL
+        return node
+
+    # ------------------------------------------------------------------
+    # Seek (NM Figure 4)
+    # ------------------------------------------------------------------
+
+    def _seek(self, key: int) -> OpGen:
+        """Walk to the leaf for ``key``, tracking ancestor/successor.
+
+        Postconditions (NM's seek record): ``leaf`` is a leaf node and
+        ``parent`` its parent on the traversed path; ``ancestor`` is
+        the deepest path node whose edge to the next path node
+        (``successor``) was *untagged* when read — every edge strictly
+        below that, down to ``parent``, was tagged (frozen by pending
+        splices), so the cleanup CAS operates above the frozen chain.
+        """
+        ancestor = self.R
+        successor = self.S      # edge R->S is never flagged/tagged
+        node = self.S
+        node_key = INF1
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self._max_nodes:
+                raise RuntimeError("seek exceeded node bound")
+            side = LEFT if key < node_key else RIGHT
+            child_raw = yield load(field(node, side), MemOrder.ACQUIRE)
+            child = addr_of(child_raw)
+            child_left_raw = yield load(field(child, LEFT),
+                                        MemOrder.ACQUIRE)
+            if addr_of(child_left_raw) == NULL:
+                # child is a leaf: node is its parent.
+                return _SeekRecord(ancestor, successor, node, child)
+            # child is internal: descend through it.
+            if not is_tagged(child_raw):
+                ancestor = node
+                successor = child
+            node = child
+            node_key = yield load(field(node, KEY))
+
+    # ------------------------------------------------------------------
+    # Operations (NM Figures 5-7)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int, tid=None) -> OpGen:
+        while True:
+            record = yield from self._seek(key)
+            leaf_key = yield load(field(record.leaf, KEY))
+            if leaf_key == key:
+                return False
+            parent_key = yield load(field(record.parent, KEY))
+            child_addr = field(record.parent,
+                               LEFT if key < parent_key else RIGHT)
+            # Build the replacement subtree: a new leaf and a new
+            # internal routing node over {new leaf, existing leaf}.
+            new_leaf = self._alloc_node(NODE_WORDS, tid)
+            yield alloc_header_write(new_leaf, NODE_WORDS)
+            yield store(field(new_leaf, KEY), key)
+            yield store(field(new_leaf, VALUE), value)
+            yield store(field(new_leaf, LEFT), NULL)
+            yield store(field(new_leaf, RIGHT), NULL)
+            internal = self._alloc_node(NODE_WORDS, tid)
+            yield alloc_header_write(internal, NODE_WORDS)
+            if key < leaf_key:
+                yield store(field(internal, KEY), leaf_key)
+                yield store(field(internal, LEFT), new_leaf)
+                yield store(field(internal, RIGHT), record.leaf)
+            else:
+                yield store(field(internal, KEY), key)
+                yield store(field(internal, LEFT), record.leaf)
+                yield store(field(internal, RIGHT), new_leaf)
+            yield store(field(internal, VALUE), 0)
+            ok, observed = yield cas(child_addr, record.leaf, internal,
+                                     MemOrder.RELEASE)
+            if ok:
+                return True
+            # CAS failed: if the edge still points at our leaf but is
+            # flagged/tagged, help the pending delete before retrying.
+            if (addr_of(observed) == record.leaf
+                    and (is_flagged(observed) or is_tagged(observed))):
+                yield from self._cleanup(key, record)
+
+    def delete(self, key: int, tid=None) -> OpGen:
+        injecting = True
+        target_leaf = NULL
+        while True:
+            record = yield from self._seek(key)
+            if injecting:
+                leaf_key = yield load(field(record.leaf, KEY))
+                if leaf_key != key:
+                    return False
+                parent_key = yield load(field(record.parent, KEY))
+                child_addr = field(record.parent,
+                                   LEFT if key < parent_key else RIGHT)
+                ok, observed = yield cas(child_addr, record.leaf,
+                                         record.leaf | FLAG,
+                                         MemOrder.RELEASE)
+                if ok:
+                    # Injection succeeded: the delete is linearized.
+                    injecting = False
+                    target_leaf = record.leaf
+                    done = yield from self._cleanup(key, record)
+                    if done:
+                        yield from self._retire(record.parent,
+                                                target_leaf)
+                        return True
+                    continue
+                if (addr_of(observed) == record.leaf
+                        and (is_flagged(observed)
+                             or is_tagged(observed))):
+                    yield from self._cleanup(key, record)
+                continue
+            # Cleanup mode: our flag is planted; finish the splice
+            # (or discover that a helper already did).
+            if record.leaf != target_leaf:
+                return True   # somebody completed our splice
+            done = yield from self._cleanup(key, record)
+            if done:
+                yield from self._retire(record.parent, target_leaf)
+                return True
+
+    def _cleanup(self, key: int, record: _SeekRecord) -> OpGen:
+        """Splice out the flagged leaf's parent (NM Figure 7).
+
+        Returns True when this caller's splice CAS succeeded.
+        """
+        ancestor, parent = record.ancestor, record.parent
+        ancestor_key = yield load(field(ancestor, KEY))
+        successor_addr = field(ancestor,
+                               LEFT if key < ancestor_key else RIGHT)
+        parent_key = yield load(field(parent, KEY))
+        if key < parent_key:
+            child_addr = field(parent, LEFT)
+            sibling_addr = field(parent, RIGHT)
+        else:
+            child_addr = field(parent, RIGHT)
+            sibling_addr = field(parent, LEFT)
+        child_raw = yield load(child_addr, MemOrder.ACQUIRE)
+        if not is_flagged(child_raw):
+            # The leaf under deletion is on the sibling side (we are
+            # helping a delete of the other child).
+            sibling_addr = child_addr
+        # Tag the sibling edge so it cannot change under the splice.
+        while True:
+            sibling_raw = yield load(sibling_addr, MemOrder.ACQUIRE)
+            if is_tagged(sibling_raw):
+                break
+            ok, _ = yield cas(sibling_addr, sibling_raw,
+                              sibling_raw | TAG, MemOrder.RELEASE)
+            if ok:
+                sibling_raw = sibling_raw | TAG
+                break
+        # Splice: swing the ancestor's edge to the sibling (tag
+        # cleared, flag preserved so an in-progress delete of the
+        # sibling leaf carries over).
+        sibling_raw = yield load(sibling_addr, MemOrder.ACQUIRE)
+        ok, _ = yield cas(successor_addr, record.successor,
+                          sibling_raw & ~TAG, MemOrder.RELEASE)
+        return ok
+
+    def _retire(self, parent: int, leaf: int) -> OpGen:
+        """Free the spliced-out internal node and leaf (malloc traffic)."""
+        yield free_header_write(parent)
+        yield free_header_write(leaf)
+
+    def contains(self, key: int) -> OpGen:
+        record = yield from self._seek(key)
+        leaf_key = yield load(field(record.leaf, KEY))
+        return leaf_key == key
+
+    # ------------------------------------------------------------------
+    # Direct-memory build
+    # ------------------------------------------------------------------
+
+    def build_initial(self, keys: Iterable[int],
+                      memory: Dict[int, Word]) -> None:
+        memory.update(self._skeleton)
+        sorted_keys = sorted(set(keys))
+        if sorted_keys:
+            # The INF0 sentinel leaf stays in S's left subtree forever
+            # (it is never deleted), guaranteeing every real leaf's
+            # parent is an internal node — a delete can then never
+            # splice out the sentinel S itself.
+            subtree = self._build_balanced(sorted_keys + [INF0], memory)
+            memory[field(self.S, LEFT)] = subtree
+
+    def _build_balanced(self, keys: Sequence[int],
+                        memory: Dict[int, Word]) -> int:
+        if len(keys) == 1:
+            return self._static_node(keys[0], memory)
+        mid = (len(keys) + 1) // 2
+        node = self._static_node(keys[mid], memory)
+        memory[field(node, LEFT)] = self._build_balanced(keys[:mid],
+                                                         memory)
+        memory[field(node, RIGHT)] = self._build_balanced(keys[mid:],
+                                                          memory)
+        return node
+
+    # ------------------------------------------------------------------
+    # Recovery validation
+    # ------------------------------------------------------------------
+
+    def validate_image(self, image: Dict[int, Word]) -> RecoveryReport:
+        problems: List[str] = []
+        live: Set[int] = set()
+        count = 0
+        # (node raw edge, low bound, high bound)
+        stack: List[Tuple[Word, int, int]] = [
+            (image.get(field(self.R, LEFT)), -(1 << 63), 1 << 63)]
+        right_raw = image.get(field(self.R, RIGHT))
+        if right_raw is not None:
+            stack.append((right_raw, -(1 << 63), 1 << 63))
+        while stack and not problems:
+            raw, low, high = stack.pop()
+            if raw is None:
+                problems.append("reachable edge word never persisted")
+                break
+            node = addr_of(raw)
+            if node == NULL:
+                continue
+            count += 1
+            if count > self._max_nodes:
+                problems.append("tree exceeds node bound (cycle?)")
+                break
+            key = image.get(field(node, KEY))
+            left = image.get(field(node, LEFT))
+            right = image.get(field(node, RIGHT))
+            if key is None or left is None or right is None:
+                problems.append(
+                    f"node {node:#x} is linked into the tree but its "
+                    "fields never persisted (inconsistent cut)")
+                break
+            if not low <= key <= high:
+                problems.append(
+                    f"BST ordering violated at {node:#x}: key {key} "
+                    f"outside [{low}, {high}]")
+            is_leaf = addr_of(left) == NULL and addr_of(right) == NULL
+            one_null = (addr_of(left) == NULL) != (addr_of(right) == NULL)
+            if one_null:
+                problems.append(
+                    f"internal node {node:#x} has exactly one child")
+            if is_leaf:
+                if key < INF0 and not is_flagged(raw):
+                    live.add(key)
+                if image.get(field(node, VALUE)) is None:
+                    problems.append(
+                        f"leaf {node:#x} value never persisted")
+            else:
+                stack.append((left, low, key - 1))
+                stack.append((right, key, high))
+        return RecoveryReport(structure=self.name, ok=not problems,
+                              problems=problems, reachable_nodes=count,
+                              live_keys=live)
+
+    def collect_keys(self, memory: Dict[int, Word]) -> Set[int]:
+        return self.validate_image(memory).live_keys or set()

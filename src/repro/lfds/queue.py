@@ -1,0 +1,186 @@
+"""The ``queue`` workload: the Michael–Scott lock-free FIFO queue.
+
+The classic nonblocking queue [PODC'96], exactly as the paper uses it:
+a dummy-headed singly-linked list with ``head``/``tail`` pointer words;
+enqueue links at the tail with a release-CAS and (with helping) swings
+the tail; dequeue swings the head with a release-CAS.
+
+Persistency pattern: enqueue writes the node's fields with plain
+stores, then publishes with a single release-CAS of ``tail.next`` —
+the Figure 1 insert pattern in its purest form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.consistency.events import MemOrder
+from repro.core.thread import cas, load, store
+from repro.lfds.base import (
+    LogFreeStructure,
+    NULL,
+    OpGen,
+    RecoveryReport,
+    Word,
+    alloc_header_write,
+    field,
+    free_header_write,
+    header_addr,
+)
+from repro.memory.address import HeapAllocator
+
+# Node layout: [value, next]
+VALUE, NEXT = 0, 1
+NODE_WORDS = 2
+
+
+class MichaelScottQueue(LogFreeStructure):
+    """Nonblocking FIFO queue (Michael & Scott, PODC'96)."""
+
+    name = "queue"
+
+    def __init__(self, allocator: HeapAllocator,
+                 max_nodes: int = 1 << 22) -> None:
+        super().__init__(allocator)
+        self.head_ptr = allocator.alloc(1, line_align=True)
+        self.tail_ptr = allocator.alloc(1, line_align=True)
+        self._max_nodes = max_nodes
+        self._initial_dummy: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def enqueue(self, value: int, tid=None) -> OpGen:
+        node = self._alloc_node(NODE_WORDS, tid)
+        yield alloc_header_write(node, NODE_WORDS)
+        yield store(field(node, VALUE), value)
+        yield store(field(node, NEXT), NULL)
+        while True:
+            last = yield load(self.tail_ptr, MemOrder.ACQUIRE)
+            nxt = yield load(field(last, NEXT), MemOrder.ACQUIRE)
+            tail_check = yield load(self.tail_ptr, MemOrder.ACQUIRE)
+            if last != tail_check:
+                continue
+            if nxt == NULL:
+                ok, _ = yield cas(field(last, NEXT), NULL, node,
+                                  MemOrder.RELEASE)
+                if ok:
+                    # Swing the tail (best effort; others may help).
+                    yield cas(self.tail_ptr, last, node, MemOrder.RELEASE)
+                    return True
+            else:
+                # Help a lagging enqueuer swing the tail.
+                yield cas(self.tail_ptr, last, nxt, MemOrder.RELEASE)
+
+    def dequeue(self) -> OpGen:
+        """Returns the dequeued value, or None if the queue is empty."""
+        while True:
+            first = yield load(self.head_ptr, MemOrder.ACQUIRE)
+            last = yield load(self.tail_ptr, MemOrder.ACQUIRE)
+            nxt = yield load(field(first, NEXT), MemOrder.ACQUIRE)
+            head_check = yield load(self.head_ptr, MemOrder.ACQUIRE)
+            if first != head_check:
+                continue
+            if first == last:
+                if nxt == NULL:
+                    return None
+                yield cas(self.tail_ptr, last, nxt, MemOrder.RELEASE)
+                continue
+            value = yield load(field(nxt, VALUE))
+            ok, _ = yield cas(self.head_ptr, first, nxt, MemOrder.RELEASE)
+            if ok:
+                # The retired sentinel is freed (malloc-metadata store).
+                yield free_header_write(first)
+                return value
+
+    # The harness drives every LFD through insert/delete/contains.
+    def insert(self, key: int, value: int, tid=None) -> OpGen:
+        result = yield from self.enqueue(value, tid)
+        return result
+
+    def delete(self, key: int) -> OpGen:
+        result = yield from self.dequeue()
+        return result is not None
+
+    def contains(self, key: int) -> OpGen:
+        """Non-linearizable scan (only used by tests)."""
+        curr = yield load(self.head_ptr, MemOrder.ACQUIRE)
+        steps = 0
+        while curr != NULL and steps < self._max_nodes:
+            steps += 1
+            value = yield load(field(curr, VALUE))
+            if value == key and steps > 1:   # skip the dummy
+                return True
+            curr = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
+        return False
+
+    # ------------------------------------------------------------------
+    # Direct-memory build
+    # ------------------------------------------------------------------
+
+    def build_initial(self, values: Iterable[int],
+                      memory: Dict[int, Word]) -> None:
+        dummy = self.allocator.alloc(NODE_WORDS + 1, line_align=True) + 8
+        self._initial_dummy = dummy
+        memory[header_addr(dummy)] = NODE_WORDS
+        memory[field(dummy, VALUE)] = 0
+        chain: List[int] = [dummy]
+        for value in values:
+            node = self.allocator.alloc(NODE_WORDS + 1,
+                                        line_align=True) + 8
+            memory[header_addr(node)] = NODE_WORDS
+            memory[field(node, VALUE)] = value
+            chain.append(node)
+        for i, node in enumerate(chain):
+            memory[field(node, NEXT)] = (
+                chain[i + 1] if i + 1 < len(chain) else NULL)
+        memory[self.head_ptr] = dummy
+        memory[self.tail_ptr] = chain[-1]
+
+    # ------------------------------------------------------------------
+    # Recovery validation
+    # ------------------------------------------------------------------
+
+    def validate_image(self, image: Dict[int, Word]) -> RecoveryReport:
+        problems: List[str] = []
+        count = 0
+        values: Set[int] = set()
+        head = image.get(self.head_ptr)
+        tail = image.get(self.tail_ptr)
+        if head is None:
+            problems.append("head pointer never persisted")
+        if tail is None:
+            problems.append("tail pointer never persisted")
+        tail_seen = False
+        curr = head if head is not None else NULL
+        first = True
+        while curr != NULL and not problems:
+            count += 1
+            if count > self._max_nodes:
+                problems.append("queue chain exceeds bound (cycle?)")
+                break
+            value = image.get(field(curr, VALUE))
+            nxt = image.get(field(curr, NEXT))
+            if nxt is None or value is None:
+                problems.append(
+                    f"node {curr:#x} is linked into the queue but its "
+                    "fields never persisted (inconsistent cut)")
+                break
+            if curr == tail:
+                tail_seen = True
+            if not first:
+                values.add(value)
+            first = False
+            curr = nxt
+        if not problems and tail is not None and not tail_seen:
+            problems.append(
+                f"tail {tail:#x} is not reachable from head "
+                "(persisted tail overtook the chain)")
+        return RecoveryReport(structure=self.name, ok=not problems,
+                              problems=problems, reachable_nodes=count,
+                              live_keys=values)
+
+    def collect_keys(self, memory: Dict[int, Word]) -> Set[int]:
+        """Multigoal: the set of values currently queued."""
+        return self.validate_image(memory).live_keys or set()

@@ -1,0 +1,327 @@
+"""The ``skiplist`` workload: a lock-free skip list.
+
+Follows the standard lock-free skip list design (Fraser/Herlihy-Shavit,
+as used by SynchroBench's skip lists): the level-0 list is the source
+of truth and its insert/mark CASes are the linearization points; upper
+levels are a probabilistic index maintained with best-effort CASes and
+helped unlinking in ``find``.
+
+One reproduction-friendly twist: a node's tower height is derived
+deterministically from its key (a hash-based geometric distribution)
+instead of an RNG, so all mechanisms and thread counts build an
+identical index shape for a given key sequence — removing a noise
+source from the Figure 5/7/8 comparisons without changing the access
+pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.consistency.events import MemOrder
+from repro.core.thread import cas, load, store
+from repro.lfds.base import (
+    KEY_MIN,
+    LogFreeStructure,
+    NULL,
+    OpGen,
+    RecoveryReport,
+    Word,
+    alloc_header_write,
+    field,
+    free_header_write,
+    header_addr,
+    is_marked,
+    mark,
+    unmark,
+)
+from repro.memory.address import WORD_BYTES, HeapAllocator
+
+# Node layout: [key, value, level, next_0 .. next_{level-1}]
+KEY, VALUE, LEVEL = 0, 1, 2
+HEADER_WORDS = 3
+
+
+def _mix(key: int) -> int:
+    """Deterministic 64-bit hash (splitmix64 finalizer)."""
+    h = (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return h ^ (h >> 31)
+
+
+class SkipList(LogFreeStructure):
+    """Lock-free skip list with key-deterministic tower heights."""
+
+    name = "skiplist"
+
+    def __init__(self, allocator: HeapAllocator, max_level: int = 14,
+                 max_nodes: int = 1 << 22) -> None:
+        super().__init__(allocator)
+        self.max_level = max_level
+        self._max_nodes = max_nodes
+        # Head tower: full-height sentinel with key KEY_MIN.
+        self.head = allocator.alloc(HEADER_WORDS + max_level,
+                                    line_align=True)
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+
+    def _next_addr(self, node: int, level: int) -> int:
+        return field(node, HEADER_WORDS + level)
+
+    def level_for(self, key: int) -> int:
+        """Tower height for ``key`` (geometric, p=1/2, deterministic)."""
+        bits = _mix(key)
+        level = 1
+        while bits & 1 and level < self.max_level:
+            level += 1
+            bits >>= 1
+        return level
+
+    def head_initial_memory(self) -> Dict[int, Word]:
+        """Head tower contents for an empty skip list."""
+        memory: Dict[int, Word] = {
+            field(self.head, KEY): KEY_MIN,
+            field(self.head, VALUE): 0,
+            field(self.head, LEVEL): self.max_level,
+        }
+        for level in range(self.max_level):
+            memory[self._next_addr(self.head, level)] = NULL
+        return memory
+
+    # ------------------------------------------------------------------
+    # Traversal with helping
+    # ------------------------------------------------------------------
+
+    def find(self, key: int) -> OpGen:
+        """Per-level predecessors/successors of ``key``, unlinking
+        marked nodes encountered along the way."""
+        while True:
+            retry = False
+            preds: List[int] = [self.head] * self.max_level
+            succs: List[int] = [NULL] * self.max_level
+            pred = self.head
+            for level in range(self.max_level - 1, -1, -1):
+                raw = yield load(self._next_addr(pred, level),
+                                 MemOrder.ACQUIRE)
+                curr = unmark(raw) if raw is not None else NULL
+                while True:
+                    if curr == NULL:
+                        break
+                    raw_next = yield load(self._next_addr(curr, level),
+                                          MemOrder.ACQUIRE)
+                    if is_marked(raw_next):
+                        ok, _ = yield cas(self._next_addr(pred, level),
+                                          curr, unmark(raw_next),
+                                          MemOrder.RELEASE)
+                        if not ok:
+                            retry = True
+                            break
+                        curr = unmark(raw_next)
+                        continue
+                    curr_key = yield load(field(curr, KEY))
+                    if curr_key < key:
+                        pred = curr
+                        curr = (unmark(raw_next)
+                                if raw_next is not None else NULL)
+                    else:
+                        break
+                if retry:
+                    break
+                preds[level] = pred
+                succs[level] = curr
+            if not retry:
+                return preds, succs
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int, tid=None) -> OpGen:
+        height = self.level_for(key)
+        while True:
+            preds, succs = yield from self.find(key)
+            if succs[0] != NULL:
+                found_key = yield load(field(succs[0], KEY))
+                if found_key == key:
+                    return False
+            node = self._alloc_node(HEADER_WORDS + height, tid)
+            yield alloc_header_write(node, HEADER_WORDS + height)
+            yield store(field(node, KEY), key)
+            yield store(field(node, VALUE), value)
+            yield store(field(node, LEVEL), height)
+            for level in range(height):
+                yield store(self._next_addr(node, level), succs[level])
+            # Level-0 link: the linearization point.
+            ok, _ = yield cas(self._next_addr(preds[0], 0), succs[0],
+                              node, MemOrder.RELEASE)
+            if not ok:
+                continue
+            yield from self._link_upper_levels(node, height, preds, succs,
+                                               key)
+            return True
+
+    def _link_upper_levels(self, node: int, height: int,
+                           preds: List[int], succs: List[int],
+                           key: int) -> OpGen:
+        """Best-effort index linking above level 0."""
+        for level in range(1, height):
+            attempts = 0
+            while attempts < 3:
+                succ = succs[level]
+                raw_own = yield load(self._next_addr(node, level),
+                                     MemOrder.ACQUIRE)
+                if is_marked(raw_own):
+                    return None   # node concurrently deleted: stop
+                if raw_own != succ:
+                    ok, _ = yield cas(self._next_addr(node, level),
+                                      raw_own, succ, MemOrder.RELEASE)
+                    if not ok:
+                        attempts += 1
+                        continue
+                ok, _ = yield cas(self._next_addr(preds[level], level),
+                                  succ, node, MemOrder.RELEASE)
+                if ok:
+                    break
+                attempts += 1
+                preds, succs = yield from self.find(key)
+                if succs[0] != node:
+                    return None   # node deleted meanwhile: stop linking
+        return None
+
+    def delete(self, key: int) -> OpGen:
+        while True:
+            _preds, succs = yield from self.find(key)
+            node = succs[0]
+            if node == NULL:
+                return False
+            node_key = yield load(field(node, KEY))
+            if node_key != key:
+                return False
+            height = yield load(field(node, LEVEL))
+            # Mark the index levels top-down (best effort).
+            for level in range(height - 1, 0, -1):
+                while True:
+                    raw = yield load(self._next_addr(node, level),
+                                     MemOrder.ACQUIRE)
+                    if is_marked(raw):
+                        break
+                    ok, _ = yield cas(self._next_addr(node, level), raw,
+                                      mark(raw), MemOrder.RELEASE)
+                    if ok:
+                        break
+            # Level-0 mark: the linearization point.
+            while True:
+                raw = yield load(self._next_addr(node, 0),
+                                 MemOrder.ACQUIRE)
+                if is_marked(raw):
+                    return False  # a concurrent delete won
+                ok, _ = yield cas(self._next_addr(node, 0), raw,
+                                  mark(raw), MemOrder.RELEASE)
+                if ok:
+                    yield from self.find(key)  # help the physical unlink
+                    # Reclaim the tower (malloc-metadata store).
+                    yield free_header_write(node)
+                    return True
+
+    def contains(self, key: int) -> OpGen:
+        """Traverse the index without helping (read-only)."""
+        pred = self.head
+        for level in range(self.max_level - 1, -1, -1):
+            raw = yield load(self._next_addr(pred, level),
+                             MemOrder.ACQUIRE)
+            curr = unmark(raw) if raw is not None else NULL
+            while curr != NULL:
+                raw_next = yield load(self._next_addr(curr, level),
+                                      MemOrder.ACQUIRE)
+                curr_key = yield load(field(curr, KEY))
+                if curr_key < key:
+                    pred = curr
+                    curr = unmark(raw_next) if raw_next is not None else NULL
+                    continue
+                if curr_key == key and level == 0:
+                    return not is_marked(raw_next)
+                break
+        return False
+
+    # ------------------------------------------------------------------
+    # Direct-memory build
+    # ------------------------------------------------------------------
+
+    def build_initial(self, keys: Iterable[int],
+                      memory: Dict[int, Word]) -> None:
+        memory.update(self.head_initial_memory())
+        sorted_keys = sorted(set(keys))
+        nodes = []
+        for key in sorted_keys:
+            height = self.level_for(key)
+            node = self.allocator.alloc(HEADER_WORDS + height + 1,
+                                        line_align=True) + 8
+            memory[header_addr(node)] = HEADER_WORDS + height
+            memory[field(node, KEY)] = key
+            memory[field(node, VALUE)] = key + 1
+            memory[field(node, LEVEL)] = height
+            nodes.append((node, height))
+        last_at_level = [self.head] * self.max_level
+        for node, height in nodes:
+            for level in range(height):
+                memory[self._next_addr(last_at_level[level], level)] = node
+                last_at_level[level] = node
+        for node, height in nodes:
+            for level in range(height):
+                memory.setdefault(self._next_addr(node, level), NULL)
+
+    # ------------------------------------------------------------------
+    # Recovery validation
+    # ------------------------------------------------------------------
+
+    def validate_image(self, image: Dict[int, Word]) -> RecoveryReport:
+        problems: List[str] = []
+        live: Set[int] = set()
+        count = 0
+        for level in range(self.max_level):
+            prev_key = KEY_MIN
+            raw = image.get(self._next_addr(self.head, level))
+            if raw is None:
+                problems.append(f"head tower level {level} not in NVM")
+                continue
+            curr = unmark(raw)
+            steps = 0
+            while curr != NULL:
+                steps += 1
+                if steps > self._max_nodes:
+                    problems.append(f"level {level} chain exceeds bound")
+                    break
+                key = image.get(field(curr, KEY))
+                value = image.get(field(curr, VALUE))
+                height = image.get(field(curr, LEVEL))
+                if key is None or value is None or height is None:
+                    problems.append(
+                        f"node {curr:#x} linked at level {level} but its "
+                        "fields never persisted (inconsistent cut)")
+                    break
+                raw_next = image.get(self._next_addr(curr, level))
+                if raw_next is None:
+                    problems.append(
+                        f"node {curr:#x} level-{level} link never "
+                        "persisted despite the node being linked")
+                    break
+                if key <= prev_key:
+                    problems.append(
+                        f"level {level} ordering violated at {curr:#x}")
+                if level == 0:
+                    count += 1
+                    if not is_marked(raw_next):
+                        live.add(key)
+                prev_key = key
+                curr = unmark(raw_next)
+        return RecoveryReport(structure=self.name, ok=not problems,
+                              problems=problems, reachable_nodes=count,
+                              live_keys=live)
+
+    def collect_keys(self, memory: Dict[int, Word]) -> Set[int]:
+        return self.validate_image(memory).live_keys or set()

@@ -1,0 +1,22 @@
+"""Simulated memory: addressing, heap allocation and the NVM subsystem."""
+
+from repro.memory.address import (
+    WORD_BYTES,
+    HeapAllocator,
+    line_address,
+    line_index,
+    word_aligned,
+    words_in_line,
+)
+from repro.memory.nvm import NVMController, PersistRecord
+
+__all__ = [
+    "WORD_BYTES",
+    "HeapAllocator",
+    "line_address",
+    "line_index",
+    "word_aligned",
+    "words_in_line",
+    "NVMController",
+    "PersistRecord",
+]

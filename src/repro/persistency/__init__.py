@@ -1,0 +1,55 @@
+"""Persistency models and their microarchitectural mechanisms.
+
+The mechanisms are the paper's comparison points (Section 6.2):
+
+* :class:`NOPMechanism` — volatile execution, no guarantees;
+* :class:`SBMechanism` — strict full persist barriers enforcing RP;
+* :class:`BBMechanism` — state-of-the-art buffered full barriers
+  enforcing RP;
+* :class:`LRPMechanism` — the paper's lazy one-sided barriers (RP);
+* :class:`ARPMechanism` — acquire-release persistency (too weak for
+  LFD recovery; included for the Figure 1 demonstration).
+"""
+
+from repro.persistency.base import PersistencyMechanism
+from repro.persistency.nop import NOPMechanism
+from repro.persistency.sb import SBMechanism
+from repro.persistency.bb import BBMechanism
+from repro.persistency.lrp import LRPMechanism
+from repro.persistency.arp import ARPMechanism
+from repro.persistency.buffered import DPOMechanism, HOPSMechanism
+from repro.persistency.checker import RPChecker, Violation
+from repro.persistency import rp_model
+
+MECHANISMS = {
+    mech.name: mech
+    for mech in (NOPMechanism, SBMechanism, BBMechanism, LRPMechanism,
+                 ARPMechanism, DPOMechanism, HOPSMechanism)
+}
+
+
+def mechanism_by_name(name: str):
+    """Look up a mechanism class by its short name (e.g. ``"lrp"``)."""
+    try:
+        return MECHANISMS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; choose from "
+            f"{sorted(MECHANISMS)}") from None
+
+
+__all__ = [
+    "PersistencyMechanism",
+    "NOPMechanism",
+    "SBMechanism",
+    "BBMechanism",
+    "LRPMechanism",
+    "ARPMechanism",
+    "DPOMechanism",
+    "HOPSMechanism",
+    "RPChecker",
+    "Violation",
+    "rp_model",
+    "MECHANISMS",
+    "mechanism_by_name",
+]

@@ -1,0 +1,182 @@
+"""Persist-buffer-based enforcement: DPO and HOPS (Section 2.2.1).
+
+The paper classifies prior full-barrier implementations into two
+families: cache-based (our BB) and *persist-buffer-based*, which
+"buffer and order writes in per-thread queues added alongside the
+cache hierarchy, draining into buffer(s) adjacent to the NVM
+controllers":
+
+* **DPO** — delegated persist ordering (Kolli et al., MICRO'16): a
+  single buffer at the NVM controller, which "may enforce a global
+  order amongst potentially independent epochs from two different
+  threads" — modeled as one global ordering chain across all cores.
+* **HOPS** (Nalli et al., ASPLOS'17): per-thread buffers alongside the
+  controllers — only each thread's own epochs are ordered, plus the
+  cross-thread dependencies.
+
+Both are *write-through* with respect to persistence: every store
+enqueues a word-granular persist immediately (no cache coalescing —
+the §4.2 coalescing argument is exactly about what these designs
+give up). Cores never block on barriers; the only stall is
+back-pressure when a core's buffer of unacknowledged persists fills
+(``persist_buffer_entries``).
+
+Ordering enforced (sufficient for RP):
+
+* intra-thread: epochs (delimited by releases — the full-barrier
+  placement of Section 6.2) drain in order, pipelined;
+* inter-thread: a synchronizing acquire orders the acquirer's
+  subsequent persists behind the releaser's buffer tail; any coherence
+  downgrade adds the same (conservative BEP) edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coherence.l1cache import CacheLine, MESIState
+from repro.consistency.events import MemoryEvent
+from repro.memory.nvm import PersistRecord
+from repro.persistency.base import PersistencyMechanism
+
+
+class _PersistBufferMechanism(PersistencyMechanism):
+    """Common machinery of the persist-buffer designs."""
+
+    name = "persist-buffer"
+    enforces_rp = True
+    #: True = one global ordering chain (DPO); False = per-thread (HOPS).
+    global_ordering = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        cores = self.config.num_cores
+        # Tail of each core's ordering chain (its last enqueued persist
+        # of a *previous* epoch constrains the current epoch).
+        self._epoch_tail: List[Optional[PersistRecord]] = [None] * cores
+        # Youngest persist of the open epoch (becomes the tail at the
+        # next barrier).
+        self._open_tail: List[Optional[PersistRecord]] = [None] * cores
+        # The single controller-side chain (DPO only).
+        self._global_tail: Optional[PersistRecord] = None
+        # Outstanding (unacked) persists per core, for back-pressure.
+        self._outstanding_fifo: List[List[PersistRecord]] = [
+            [] for _ in range(cores)
+        ]
+
+    # ------------------------------------------------------------------
+    # Enqueue path
+    # ------------------------------------------------------------------
+
+    def _order_tail(self, core: int) -> Optional[PersistRecord]:
+        if self.global_ordering:
+            return self._global_tail
+        return self._epoch_tail[core]
+
+    def _enqueue(self, core: int, event: MemoryEvent, now: int) -> int:
+        """Append a word persist to the core's buffer; returns stall."""
+        stall = self._backpressure(core, now)
+        line_addr = event.addr & ~(self.config.line_bytes - 1)
+        record = self.nvm.issue_persist(
+            line_addr, {event.addr: (event.value, event.event_id)},
+            now + stall, ordered_after=self._order_tail(core))
+        self._record_core[record.issue_seq] = core
+        self.stats[core].persists_issued += 1
+        self.stats[core].writebacks_total += 1
+        self._outstanding_fifo[core].append(record)
+        open_tail = self._open_tail[core]
+        if open_tail is None or record.complete_time > open_tail.complete_time:
+            self._open_tail[core] = record
+        if self.global_ordering:
+            if (self._global_tail is None
+                    or record.complete_time
+                    > self._global_tail.complete_time):
+                self._global_tail = record
+        return stall
+
+    def _backpressure(self, core: int, now: int) -> int:
+        """Stall while the buffer of unacked persists is full."""
+        fifo = self._outstanding_fifo[core]
+        self._outstanding_fifo[core] = fifo = [
+            r for r in fifo if r.complete_time > now
+        ]
+        capacity = self.config.persist_buffer_entries
+        if len(fifo) < capacity:
+            return 0
+        gate = sorted(r.complete_time for r in fifo)[len(fifo) - capacity]
+        for record in fifo:
+            if now < record.complete_time <= gate:
+                self._mark_critical(record)
+        return self._charge_stall(core, now, gate, reason="buffer-full")
+
+    def _close_epoch(self, core: int) -> None:
+        """Subsequent persists are ordered behind everything enqueued."""
+        open_tail = self._open_tail[core]
+        if open_tail is not None:
+            tail = self._epoch_tail[core]
+            if tail is None or open_tail.complete_time > tail.complete_time:
+                self._epoch_tail[core] = open_tail
+        self._open_tail[core] = None
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def on_write(self, core: int, line: CacheLine, event: MemoryEvent,
+                 now: int) -> int:
+        # Persistency is handled by the buffer; the cache carries no
+        # persistency metadata (write-through persists).
+        return self._enqueue(core, event, now)
+
+    def on_release(self, core: int, line: CacheLine, event: MemoryEvent,
+                   now: int) -> int:
+        """Full barriers around the release (Section 6.2 placement)."""
+        self.stats[core].barrier_count += 2
+        self._close_epoch(core)                 # barrier before
+        stall = self._enqueue(core, event, now)
+        self._close_epoch(core)                 # barrier after
+        return stall
+
+    def on_acquire(self, core: int, event: MemoryEvent, now: int,
+                   sync_source: Optional[int] = None) -> int:
+        """A synchronizing acquire imports the releaser's ordering."""
+        if sync_source is not None and sync_source != core:
+            self._import_edge(core, sync_source)
+        return 0
+
+    def on_downgrade(self, owner: int, line: CacheLine,
+                     to_state: MESIState, requester: int, now: int) -> int:
+        """Conservative BEP inter-thread edge on any shared dependency;
+        resolved lazily (no blocking) — the requester's future persists
+        are ordered behind the owner's buffer."""
+        self._import_edge(requester, owner)
+        return 0
+
+    def _import_edge(self, target: int, source: int) -> None:
+        for tail in (self._epoch_tail[source], self._open_tail[source]):
+            if tail is None:
+                continue
+            own = self._epoch_tail[target]
+            if own is None or tail.complete_time > own.complete_time:
+                self._epoch_tail[target] = tail
+
+    def drain(self, now: int) -> int:
+        # Everything is already enqueued with its ordering; the buffers
+        # drain on their own.
+        return 0
+
+
+class DPOMechanism(_PersistBufferMechanism):
+    """Delegated Persist Ordering: one buffer at the NVM controller,
+    globally ordering epochs across threads."""
+
+    name = "dpo"
+    global_ordering = True
+
+
+class HOPSMechanism(_PersistBufferMechanism):
+    """HOPS: per-thread persist buffers at the controllers; only
+    intra-thread epochs plus real dependencies are ordered."""
+
+    name = "hops"
+    global_ordering = False

@@ -1,0 +1,34 @@
+"""Volatile execution (NOP): no persistency model is enforced.
+
+Writebacks still reach the memory subsystem (the NVM *is* main
+memory), so an NVM image exists — but nothing orders it, which is what
+the crash-recovery experiments demonstrate: NOP leaves LFDs in
+unrecoverable states. No hook ever stalls a thread.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.l1cache import CacheLine, MESIState
+from repro.persistency.base import PersistencyMechanism
+
+
+class NOPMechanism(PersistencyMechanism):
+    """Baseline with zero persistency overhead (Section 6.2, "NOP")."""
+
+    name = "nop"
+    enforces_rp = False
+
+    def on_evict(self, core: int, line: CacheLine, now: int) -> int:
+        self._issue_line(core, line, now)
+        return 0
+
+    def on_downgrade(self, owner: int, line: CacheLine,
+                     to_state: MESIState, requester: int, now: int) -> int:
+        self._issue_line(owner, line, now)
+        return 0
+
+    def drain(self, now: int) -> int:
+        for l1 in self.fabric.l1s:
+            for line in l1.pending_lines():
+                self._issue_line(l1.core_id, line, now)
+        return 0

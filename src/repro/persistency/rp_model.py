@@ -1,0 +1,112 @@
+"""Formal persistency-model predicates (paper Sections 3.1 and 4.1).
+
+These operate purely on abstract traces — no microarchitecture — and
+answer "does model X allow persist order Y for execution Z?". They are
+the ground truth the litmus tests compare mechanisms against:
+
+* :func:`rp_allows` — Release Persistency: any two writes ordered by
+  happens-before must persist in that order (Section 4.1).
+* :func:`arp_allows` — the ARP rule only (Section 3.1):
+  ``W po-> Rel sw-> Acq po-> W'  =>  W p-> W'`` plus same-address
+  program order (persist buffers cannot reorder same-word persists of
+  one thread).
+
+A *persist sequence* is the order in which write events became durable;
+writes absent from the sequence had not persisted at the crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.consistency.events import MemoryEvent, Trace
+from repro.consistency.happens_before import HappensBefore
+
+
+def _positions(persist_sequence: Sequence[int]) -> Dict[int, int]:
+    positions: Dict[int, int] = {}
+    for index, event_id in enumerate(persist_sequence):
+        if event_id in positions:
+            raise ValueError(f"event {event_id} persisted twice")
+        positions[event_id] = index
+    return positions
+
+
+def _pair_respected(positions: Dict[int, int], first: int,
+                    second: int) -> bool:
+    """first must not be missing/later while second persisted."""
+    if second not in positions:
+        return True
+    return first in positions and positions[first] < positions[second]
+
+
+def rp_allows(trace: Trace, persist_sequence: Sequence[int],
+              hb: HappensBefore = None) -> bool:
+    """Does Release Persistency allow this persist sequence?"""
+    hb = hb or HappensBefore.from_trace(trace, mode="rp")
+    positions = _positions(persist_sequence)
+    for earlier, later in hb.write_pairs():
+        if not _pair_respected(positions, earlier.event_id,
+                               later.event_id):
+            return False
+    return True
+
+
+def arp_pairs(trace: Trace) -> Set[Tuple[int, int]]:
+    """All write pairs the ARP rule orders, as (earlier, later) ids."""
+    events = trace.events
+    pairs: Set[Tuple[int, int]] = set()
+
+    # Same-address program order.
+    last_write: Dict[Tuple[int, int], int] = {}
+    for event in events:
+        if not event.is_write_effect:
+            continue
+        key = (event.thread_id, event.addr)
+        if key in last_write:
+            pairs.add((last_write[key], event.event_id))
+        last_write[key] = event.event_id
+
+    # W po-> Rel sw-> Acq po-> W'.
+    for acq in events:
+        if not acq.is_acquire or acq.reads_from is None:
+            continue
+        rel = events[acq.reads_from]
+        if not rel.is_release or rel.thread_id == acq.thread_id:
+            continue
+        before = [e.event_id for e in events
+                  if e.thread_id == rel.thread_id and e.is_write_effect
+                  and e.event_id < rel.event_id]
+        after = [e.event_id for e in events
+                 if e.thread_id == acq.thread_id and e.is_write_effect
+                 and e.event_id > acq.event_id]
+        for w_before in before:
+            for w_after in after:
+                pairs.add((w_before, w_after))
+    return pairs
+
+
+def arp_allows(trace: Trace, persist_sequence: Sequence[int]) -> bool:
+    """Does the ARP rule allow this persist sequence?"""
+    positions = _positions(persist_sequence)
+    return all(_pair_respected(positions, first, second)
+               for first, second in arp_pairs(trace))
+
+
+def persist_sequence_from_log(trace: Trace,
+                              log_word_events: Iterable[Dict[int, int]]
+                              ) -> List[int]:
+    """Derive a write-event persist sequence from per-record word maps.
+
+    Each element of ``log_word_events`` is one persist record's
+    word -> store-event map, in durability order; a write persists the
+    first time its id appears.
+    """
+    seen: Set[int] = set()
+    sequence: List[int] = []
+    for word_events in log_word_events:
+        for event_id in sorted(word_events.values()):
+            if event_id not in seen:
+                seen.add(event_id)
+                sequence.append(event_id)
+    return sequence

@@ -1,0 +1,19 @@
+"""Benchmark workload specifications and the worker harness."""
+
+from repro.workloads.harness import (
+    WorkloadSpec,
+    build_initial_memory,
+    build_workers,
+    expected_final_keys,
+    initial_keys,
+    make_structure,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_initial_memory",
+    "build_workers",
+    "expected_final_keys",
+    "initial_keys",
+    "make_structure",
+]

@@ -1,0 +1,183 @@
+"""Workload harness: the paper's benchmark driver (Section 6.1).
+
+"For each workload, we use a harness that creates 1-32 workers and
+issues inserts and deletes at 1:1 ratio. ... The data structure size
+refers to the initial number of nodes in the data structure before
+statistics are collected."
+
+A :class:`WorkloadSpec` captures one benchmark configuration; the
+harness materializes the pre-populated structure, builds the worker
+coroutines and records per-operation outcomes for the correctness
+oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.params import MachineConfig
+from repro.common.rng import make_rng
+from repro.common.stats import CoreStats
+from repro.core.thread import work
+from repro.lfds import LogFreeStructure, structure_by_name
+from repro.memory.address import HeapAllocator
+
+Word = Optional[int]
+
+#: (op name, key, outcome) per completed data-structure operation.
+Outcome = Tuple[str, int, object]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark configuration."""
+
+    structure: str = "linkedlist"
+    num_threads: int = 32
+    initial_size: int = 1024
+    ops_per_thread: int = 48
+    update_ratio: float = 1.0      # paper default: 100% updates, 1:1
+    key_range: Optional[int] = None  # default: 2 * initial_size
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("need at least one worker")
+        if not 0.0 <= self.update_ratio <= 1.0:
+            raise ValueError("update_ratio must be in [0, 1]")
+        if self.initial_size < 0:
+            raise ValueError("initial_size must be non-negative")
+
+    @property
+    def effective_key_range(self) -> int:
+        """Keys are drawn uniformly from [0, range); default 2x size,
+        which keeps the structure near its initial size in steady state
+        under the 1:1 insert:delete mix."""
+        if self.key_range is not None:
+            return self.key_range
+        return max(2 * self.initial_size, 2)
+
+
+def make_structure(spec: WorkloadSpec,
+                   config: MachineConfig) -> LogFreeStructure:
+    """Instantiate the LFD for a spec (with size-appropriate tuning)."""
+    allocator = HeapAllocator(line_bytes=config.line_bytes)
+    cls = structure_by_name(spec.structure)
+    if cls.name == "hashmap":
+        buckets = max(4, spec.initial_size // 4)
+        return cls(allocator, num_buckets=buckets)
+    return cls(allocator)
+
+
+def initial_keys(spec: WorkloadSpec) -> List[int]:
+    """The pre-population key set (or queue values)."""
+    rng = make_rng(spec.seed, "initial")
+    key_range = spec.effective_key_range
+    if spec.structure == "queue":
+        # Queues are pre-filled with unique negative values so the
+        # oracle can distinguish them from worker enqueues.
+        return [-(i + 1) for i in range(spec.initial_size)]
+    if spec.initial_size > key_range:
+        raise ValueError("initial_size exceeds the key range")
+    return sorted(rng.sample(range(key_range), spec.initial_size))
+
+
+def build_initial_memory(spec: WorkloadSpec,
+                         structure: LogFreeStructure) -> Dict[int, Word]:
+    """The durable pre-populated structure, as a word map."""
+    memory: Dict[int, Word] = {}
+    structure.build_initial(initial_keys(spec), memory)
+    return memory
+
+
+def build_workers(spec: WorkloadSpec, structure: LogFreeStructure,
+                  outcomes: List[List[Outcome]],
+                  stats: List[CoreStats]) -> List[Callable]:
+    """Worker coroutine factories, one per hardware thread."""
+
+    def make_factory(worker_index: int) -> Callable:
+        def factory(thread_id: int):
+            return _worker(spec, structure, thread_id,
+                           outcomes[worker_index], stats)
+        return factory
+
+    return [make_factory(i) for i in range(spec.num_threads)]
+
+
+def _worker(spec: WorkloadSpec, structure: LogFreeStructure,
+            thread_id: int, results: List[Outcome],
+            stats: List[CoreStats]):
+    """One worker: ops_per_thread operations, 1:1 insert/delete."""
+    rng = make_rng(spec.seed, "worker", thread_id)
+    key_range = spec.effective_key_range
+    structure.use_arena(thread_id)
+    for op_index in range(spec.ops_per_thread):
+        key = rng.randrange(key_range)
+        roll = rng.random()
+        if roll >= spec.update_ratio:
+            found = yield from structure.contains(key)
+            results.append(("contains", key, found))
+        elif rng.random() < 0.5:
+            value = thread_id * 1_000_000 + op_index + 1
+            ok = yield from structure.insert(key, value, tid=thread_id)
+            results.append(("insert", key if spec.structure != "queue"
+                            else value, ok))
+        else:
+            if spec.structure == "queue":
+                value = yield from structure.dequeue()
+                results.append(("delete", -1, value))
+            else:
+                ok = yield from structure.delete(key)
+                results.append(("delete", key, ok))
+        stats[thread_id].ops_completed += 1
+        yield work(1)  # inter-operation application work
+
+
+# ----------------------------------------------------------------------
+# Correctness oracle
+# ----------------------------------------------------------------------
+
+def expected_final_keys(spec: WorkloadSpec,
+                        outcomes: List[List[Outcome]]) -> Set[int]:
+    """The key/value set the structure must hold after the run.
+
+    Interleaving-independent: for set-like structures each key's final
+    presence is the initial presence plus (successful inserts -
+    successful deletes), which must always be 0 or 1. For the queue it
+    is the initial+enqueued values minus the dequeued ones.
+    """
+    start = initial_keys(spec)
+    if spec.structure == "queue":
+        enqueued = set(start)
+        dequeued = []
+        for results in outcomes:
+            for op, key, result in results:
+                if op == "insert" and result:
+                    enqueued.add(key)
+                elif op == "delete" and result is not None:
+                    dequeued.append(result)
+        if len(dequeued) != len(set(dequeued)):
+            raise AssertionError("a value was dequeued twice")
+        extra = set(dequeued) - enqueued
+        if extra:
+            raise AssertionError(
+                f"dequeued values never enqueued: {sorted(extra)[:5]}")
+        return enqueued - set(dequeued)
+
+    net: Dict[int, int] = {key: 1 for key in start}
+    for results in outcomes:
+        for op, key, result in results:
+            if op == "insert" and result:
+                net[key] = net.get(key, 0) + 1
+            elif op == "delete" and result:
+                net[key] = net.get(key, 0) - 1
+    final = set()
+    for key, count in net.items():
+        if count not in (0, 1):
+            raise AssertionError(
+                f"key {key} has impossible net count {count} "
+                "(non-linearizable outcome)")
+        if count == 1:
+            final.add(key)
+    return final

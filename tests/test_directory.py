@@ -1,0 +1,170 @@
+"""Unit and property tests for the MESI directory fabric."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.directory import CoherenceFabric
+from repro.coherence.l1cache import MESIState
+from repro.common.params import MachineConfig
+
+
+def _fabric(cores=4):
+    config = MachineConfig(num_cores=cores, l1_size_bytes=2 * 64 * 2,
+                           l1_assoc=2)
+    return CoherenceFabric(config)
+
+
+def _big_fabric(cores=4):
+    return CoherenceFabric(MachineConfig(num_cores=cores))
+
+
+LINE = 0x1000
+
+
+class TestBasicTransitions:
+    def test_cold_read_gets_exclusive(self):
+        fabric = _big_fabric()
+        result = fabric.access(0, LINE, exclusive=False, now=0)
+        assert not result.l1_hit
+        assert result.line.state is MESIState.EXCLUSIVE
+
+    def test_cold_write_gets_modified(self):
+        fabric = _big_fabric()
+        result = fabric.access(0, LINE, exclusive=True, now=0)
+        assert result.line.state is MESIState.MODIFIED
+
+    def test_second_access_hits(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=False, now=0)
+        result = fabric.access(0, LINE, exclusive=False, now=10)
+        assert result.l1_hit
+        assert result.latency == 2  # L1 hit cycles
+
+    def test_silent_e_to_m_upgrade(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=False, now=0)
+        result = fabric.access(0, LINE, exclusive=True, now=10)
+        assert result.l1_hit
+        assert result.line.state is MESIState.MODIFIED
+
+    def test_second_reader_shares(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=False, now=0)
+        result = fabric.access(1, LINE, exclusive=False, now=10)
+        assert result.line.state is MESIState.SHARED
+        assert fabric.l1s[0].lookup(LINE).state is MESIState.SHARED
+
+    def test_read_downgrades_modified_owner(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=True, now=0)
+        result = fabric.access(1, LINE, exclusive=False, now=10)
+        assert result.downgrade is not None
+        assert result.downgrade.owner == 0
+        assert result.downgrade.to_state is MESIState.SHARED
+        assert result.downgrade.was_modified
+        assert fabric.l1s[0].lookup(LINE).state is MESIState.SHARED
+
+    def test_write_invalidates_modified_owner(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=True, now=0)
+        result = fabric.access(1, LINE, exclusive=True, now=10)
+        assert result.downgrade.to_state is MESIState.INVALID
+        assert fabric.l1s[0].lookup(LINE) is None
+        assert fabric.l1s[1].lookup(LINE).state is MESIState.MODIFIED
+
+    def test_write_invalidates_sharers(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=False, now=0)
+        fabric.access(1, LINE, exclusive=False, now=10)
+        result = fabric.access(2, LINE, exclusive=True, now=20)
+        assert result.invalidated_sharers == 2
+        assert fabric.l1s[0].lookup(LINE) is None
+        assert fabric.l1s[1].lookup(LINE) is None
+
+    def test_s_to_m_upgrade(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=False, now=0)
+        fabric.access(1, LINE, exclusive=False, now=10)
+        result = fabric.access(0, LINE, exclusive=True, now=20)
+        assert result.line.state is MESIState.MODIFIED
+        assert result.invalidated_sharers == 1
+        assert fabric.l1s[1].lookup(LINE) is None
+
+
+class TestEviction:
+    def test_victim_evicted_on_conflict(self):
+        fabric = _fabric()  # 2 sets x 2 ways
+        fabric.access(0, 0x0, exclusive=False, now=0)
+        fabric.access(0, 0x80, exclusive=False, now=0)   # same set 0
+        result = fabric.access(0, 0x100, exclusive=False, now=0)
+        assert result.eviction is not None
+        assert result.eviction.line.addr == 0x0
+        assert fabric.l1s[0].lookup(0x0) is None
+
+    def test_eviction_updates_directory(self):
+        fabric = _fabric()
+        fabric.access(0, 0x0, exclusive=True, now=0)
+        fabric.access(0, 0x80, exclusive=False, now=0)
+        fabric.access(0, 0x100, exclusive=False, now=0)  # evicts 0x0
+        entry = fabric.directory_state(0x0)
+        assert entry.owner is None
+        # Another core can now get it exclusively without a downgrade.
+        result = fabric.access(1, 0x0, exclusive=True, now=10)
+        assert result.downgrade is None
+
+
+class TestBlocking:
+    def test_blocked_line_delays_access(self):
+        fabric = _big_fabric()
+        fabric.block_line_until(LINE, 10_000)
+        result = fabric.access(0, LINE, exclusive=False, now=0)
+        assert result.block_wait > 0
+        total_before = result.latency - result.block_wait
+        late = fabric.access(1, LINE, exclusive=False, now=20_000)
+        assert late.block_wait == 0
+
+    def test_block_is_per_line(self):
+        fabric = _big_fabric()
+        fabric.block_line_until(LINE, 10_000)
+        other = fabric.access(0, 0x2000, exclusive=False, now=0)
+        assert other.block_wait == 0
+
+    def test_block_monotonic(self):
+        fabric = _big_fabric()
+        fabric.block_line_until(LINE, 500)
+        fabric.block_line_until(LINE, 100)  # must not shrink
+        assert fabric.blocked_until(LINE) == 500
+
+
+class TestLatencies:
+    def test_miss_latency_exceeds_hit(self):
+        fabric = _big_fabric()
+        miss = fabric.access(0, LINE, exclusive=False, now=0)
+        hit = fabric.access(0, LINE, exclusive=False, now=10)
+        assert miss.latency > hit.latency
+
+    def test_three_hop_costs_more_than_llc(self):
+        fabric = _big_fabric()
+        fabric.access(0, LINE, exclusive=True, now=0)
+        three_hop = fabric.access(1, LINE, exclusive=False, now=10)
+        clean = fabric.access(2, 0x2000, exclusive=False, now=0)
+        assert three_hop.latency > clean.latency
+
+
+class TestInvariantsProperty:
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 9), st.booleans()),
+        min_size=1, max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_swmr_and_directory_agreement(self, accesses):
+        """Single-writer-multiple-readers holds under any access mix."""
+        fabric = _fabric(cores=4)
+        for core, line_no, exclusive in accesses:
+            line_addr = line_no * 64
+            result = fabric.access(core, line_addr,
+                                   exclusive=exclusive, now=0)
+            assert result.line is not None
+            expect = (MESIState.MODIFIED if exclusive
+                      else result.line.state)
+            if exclusive:
+                assert result.line.state is MESIState.MODIFIED
+        assert fabric.check_invariants() == []

@@ -1,0 +1,245 @@
+"""Tests for the RC happens-before construction (paper Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.events import MemOrder, Trace
+from repro.consistency.happens_before import HappensBefore
+
+
+def hb_of(trace):
+    return HappensBefore.from_trace(trace)
+
+
+class TestReleaseRule:
+    def test_write_before_release_ordered(self):
+        trace = Trace()
+        w = trace.record_write(0, 0x8, 1)
+        rel = trace.record_write(0, 0x10, 2, MemOrder.RELEASE)
+        assert hb_of(trace).ordered(w.event_id, rel.event_id)
+
+    def test_read_before_release_ordered(self):
+        trace = Trace()
+        r = trace.record_read(0, 0x8)
+        rel = trace.record_write(0, 0x10, 2, MemOrder.RELEASE)
+        assert hb_of(trace).ordered(r.event_id, rel.event_id)
+
+    def test_write_after_release_unordered(self):
+        trace = Trace()
+        rel = trace.record_write(0, 0x10, 2, MemOrder.RELEASE)
+        w = trace.record_write(0, 0x8, 1)
+        hb = hb_of(trace)
+        # One-sided: the release does NOT order later accesses
+        # (different address, no acquire).
+        assert not hb.ordered(rel.event_id, w.event_id)
+
+    def test_transitive_through_earlier_release(self):
+        trace = Trace()
+        w = trace.record_write(0, 0x8, 1)
+        rel1 = trace.record_write(0, 0x10, 2, MemOrder.RELEASE)
+        trace.record_write(0, 0x18, 3)
+        rel2 = trace.record_write(0, 0x20, 4, MemOrder.RELEASE)
+        hb = hb_of(trace)
+        assert hb.ordered(rel1.event_id, rel2.event_id)
+        assert hb.ordered(w.event_id, rel2.event_id)
+
+
+class TestAcquireRule:
+    def test_access_after_acquire_ordered(self):
+        trace = Trace()
+        acq = trace.record_read(0, 0x8, MemOrder.ACQUIRE)
+        w = trace.record_write(0, 0x10, 1)
+        assert hb_of(trace).ordered(acq.event_id, w.event_id)
+
+    def test_access_before_acquire_unordered(self):
+        trace = Trace()
+        w = trace.record_write(0, 0x10, 1)
+        acq = trace.record_read(0, 0x8, MemOrder.ACQUIRE)
+        assert not hb_of(trace).ordered(w.event_id, acq.event_id)
+
+    def test_chained_acquires(self):
+        trace = Trace()
+        acq1 = trace.record_read(0, 0x8, MemOrder.ACQUIRE)
+        acq2 = trace.record_read(0, 0x10, MemOrder.ACQUIRE)
+        w = trace.record_write(0, 0x18, 1)
+        hb = hb_of(trace)
+        assert hb.ordered(acq1.event_id, acq2.event_id)
+        assert hb.ordered(acq1.event_id, w.event_id)
+
+
+class TestSameAddressRule:
+    def test_same_address_po_ordered(self):
+        trace = Trace()
+        w1 = trace.record_write(0, 0x8, 1)
+        w2 = trace.record_write(0, 0x8, 2)
+        assert hb_of(trace).ordered(w1.event_id, w2.event_id)
+
+    def test_different_address_plain_unordered(self):
+        trace = Trace()
+        w1 = trace.record_write(0, 0x8, 1)
+        w2 = trace.record_write(0, 0x10, 2)
+        hb = hb_of(trace)
+        assert not hb.ordered(w1.event_id, w2.event_id)
+        assert not hb.ordered(w2.event_id, w1.event_id)
+
+    def test_same_address_chain(self):
+        trace = Trace()
+        w1 = trace.record_write(0, 0x8, 1)
+        trace.record_write(0, 0x8, 2)
+        w3 = trace.record_write(0, 0x8, 3)
+        assert hb_of(trace).ordered(w1.event_id, w3.event_id)
+
+    def test_cross_thread_same_address_unordered(self):
+        trace = Trace()
+        w1 = trace.record_write(0, 0x8, 1)
+        w2 = trace.record_write(1, 0x8, 2)
+        hb = hb_of(trace)
+        assert not hb.ordered(w1.event_id, w2.event_id)
+
+
+class TestSynchronizesWith:
+    def test_release_to_acquire_sw(self):
+        trace = Trace()
+        rel = trace.record_write(0, 0x8, 1, MemOrder.RELEASE)
+        acq = trace.record_read(1, 0x8, MemOrder.ACQUIRE)
+        assert hb_of(trace).ordered(rel.event_id, acq.event_id)
+
+    def test_no_sw_without_release(self):
+        trace = Trace()
+        w = trace.record_write(0, 0x8, 1)  # plain
+        acq = trace.record_read(1, 0x8, MemOrder.ACQUIRE)
+        assert not hb_of(trace).ordered(w.event_id, acq.event_id)
+
+    def test_no_sw_without_acquire(self):
+        trace = Trace()
+        rel = trace.record_write(0, 0x8, 1, MemOrder.RELEASE)
+        r = trace.record_read(1, 0x8)  # plain
+        assert not hb_of(trace).ordered(rel.event_id, r.event_id)
+
+    def test_sw_through_release_cas(self):
+        trace = Trace()
+        trace.record_write(0, 0x8, 1, MemOrder.RELEASE)
+        cas = trace.record_rmw(1, 0x8, 1, 2, MemOrder.ACQ_REL)
+        w = trace.record_write(1, 0x10, 3)
+        hb = hb_of(trace)
+        assert hb.ordered(0, cas.event_id)
+        assert hb.ordered(cas.event_id, w.event_id)  # acquire side
+        assert hb.ordered(0, w.event_id)             # transitive
+
+    def test_figure1_required_ordering(self):
+        """The paper's message-passing core: W1 hb Rel hb Acq hb W4."""
+        trace = Trace()
+        w1 = trace.record_write(0, 0x100, 10)                 # node field
+        rel = trace.record_rmw(0, 0x200, None, 0x100,
+                               MemOrder.RELEASE)              # link CAS
+        acq = trace.record_read(1, 0x200, MemOrder.ACQUIRE)
+        w4 = trace.record_write(1, 0x300, 20)
+        hb = hb_of(trace)
+        assert hb.ordered(w1.event_id, rel.event_id)
+        assert hb.ordered(rel.event_id, acq.event_id)
+        assert hb.ordered(acq.event_id, w4.event_id)
+        assert hb.ordered(w1.event_id, w4.event_id)
+
+
+class TestQueries:
+    def test_ordered_rejects_bad_ids(self):
+        trace = Trace()
+        trace.record_write(0, 0x8, 1)
+        hb = hb_of(trace)
+        with pytest.raises(IndexError):
+            hb.ordered(0, 5)
+
+    def test_not_self_ordered(self):
+        trace = Trace()
+        trace.record_write(0, 0x8, 1)
+        assert not hb_of(trace).ordered(0, 0)
+
+    def test_predecessors(self):
+        trace = Trace()
+        w = trace.record_write(0, 0x8, 1)
+        rel = trace.record_write(0, 0x10, 2, MemOrder.RELEASE)
+        hb = hb_of(trace)
+        assert hb.predecessors(rel.event_id) == {w.event_id}
+        assert hb.predecessors(w.event_id) == set()
+
+    def test_write_pairs_on_figure1(self):
+        trace = Trace()
+        trace.record_write(0, 0x100, 10)
+        trace.record_write(0, 0x200, 99, MemOrder.RELEASE)
+        trace.record_read(1, 0x200, MemOrder.ACQUIRE)
+        trace.record_write(1, 0x300, 20)
+        pairs = {(a.event_id, b.event_id)
+                 for a, b in hb_of(trace).write_pairs()}
+        assert (0, 1) in pairs       # W1 -> Rel
+        assert (1, 3) in pairs       # Rel -> W4 (via acquire)
+        assert (0, 3) in pairs       # transitive
+
+    def test_max_events_guard(self):
+        trace = Trace()
+        for i in range(10):
+            trace.record_write(0, 0x8, i)
+        with pytest.raises(ValueError):
+            HappensBefore(trace.events, max_events=5)
+
+    def test_validate_read_values_clean(self):
+        trace = Trace()
+        trace.record_write(0, 0x8, 1)
+        trace.record_read(1, 0x8)
+        assert hb_of(trace).validate_read_values() == []
+
+
+class TestHbProperties:
+    @st.composite
+    def random_trace(draw):
+        trace = Trace()
+        n = draw(st.integers(2, 40))
+        for _ in range(n):
+            tid = draw(st.integers(0, 2))
+            addr = draw(st.integers(0, 4)) * 8
+            kind = draw(st.sampled_from(["r", "w", "cas"]))
+            order = draw(st.sampled_from(list(MemOrder)))
+            if kind == "r":
+                trace.record_read(tid, addr, order)
+            elif kind == "w":
+                trace.record_write(tid, addr, draw(st.integers(0, 9)),
+                                   order)
+            else:
+                trace.record_rmw(tid, addr, draw(st.integers(0, 9)),
+                                 draw(st.integers(0, 9)), order)
+        return trace
+
+    @given(random_trace())
+    @settings(max_examples=60, deadline=None)
+    def test_hb_respects_execution_order(self, trace):
+        """All hb edges point forward in the (total) execution order."""
+        hb = hb_of(trace)
+        for later in range(len(trace.events)):
+            for earlier in hb.predecessors(later):
+                assert earlier < later
+
+    @given(random_trace())
+    @settings(max_examples=60, deadline=None)
+    def test_hb_is_transitive(self, trace):
+        hb = hb_of(trace)
+        n = len(trace.events)
+        for c in range(n):
+            preds_c = hb.predecessors(c)
+            for b in preds_c:
+                assert hb.predecessors(b) <= preds_c
+
+    @given(random_trace())
+    @settings(max_examples=40, deadline=None)
+    def test_program_order_to_release_always_hb(self, trace):
+        hb = hb_of(trace)
+        events = trace.events
+        for rel in events:
+            if not rel.is_release:
+                continue
+            for prior in events[:rel.event_id]:
+                if prior.thread_id == rel.thread_id:
+                    assert hb.ordered(prior.event_id, rel.event_id)
+
+    @given(random_trace())
+    @settings(max_examples=40, deadline=None)
+    def test_reads_consistent(self, trace):
+        assert hb_of(trace).validate_read_values() == []

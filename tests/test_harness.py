@@ -1,0 +1,141 @@
+"""Tests for the workload harness and its correctness oracle."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.workloads.harness import (
+    WorkloadSpec,
+    build_initial_memory,
+    expected_final_keys,
+    initial_keys,
+    make_structure,
+)
+
+CFG = MachineConfig()
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.num_threads == 32
+        assert spec.update_ratio == 1.0   # 100% updates, 1:1 mix
+
+    def test_key_range_default_doubles_size(self):
+        assert WorkloadSpec(initial_size=500).effective_key_range == 1000
+
+    def test_key_range_override(self):
+        spec = WorkloadSpec(initial_size=10, key_range=77)
+        assert spec.effective_key_range == 77
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_threads=0)
+
+    def test_rejects_bad_update_ratio(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(update_ratio=1.5)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(initial_size=-1)
+
+
+class TestInitialKeys:
+    def test_size_and_uniqueness(self):
+        spec = WorkloadSpec(structure="hashmap", initial_size=100)
+        keys = initial_keys(spec)
+        assert len(keys) == 100
+        assert len(set(keys)) == 100
+        assert all(0 <= k < spec.effective_key_range for k in keys)
+
+    def test_deterministic_per_seed(self):
+        a = initial_keys(WorkloadSpec(initial_size=50, seed=9))
+        b = initial_keys(WorkloadSpec(initial_size=50, seed=9))
+        assert a == b
+        c = initial_keys(WorkloadSpec(initial_size=50, seed=10))
+        assert a != c
+
+    def test_queue_values_negative(self):
+        spec = WorkloadSpec(structure="queue", initial_size=5)
+        assert initial_keys(spec) == [-1, -2, -3, -4, -5]
+
+    def test_size_exceeding_range_rejected(self):
+        with pytest.raises(ValueError):
+            initial_keys(WorkloadSpec(initial_size=100, key_range=50))
+
+
+class TestMakeStructure:
+    def test_hashmap_bucket_scaling(self):
+        spec = WorkloadSpec(structure="hashmap", initial_size=1024)
+        structure = make_structure(spec, CFG)
+        assert structure.num_buckets == 256
+
+    def test_all_workloads_constructible(self):
+        for name in ("linkedlist", "hashmap", "bstree", "skiplist",
+                     "queue"):
+            spec = WorkloadSpec(structure=name, initial_size=16)
+            structure = make_structure(spec, CFG)
+            assert structure.name == name
+
+    def test_initial_memory_nonempty(self):
+        spec = WorkloadSpec(structure="bstree", initial_size=32)
+        structure = make_structure(spec, CFG)
+        memory = build_initial_memory(spec, structure)
+        assert len(memory) >= 32 * 5
+
+
+class TestOracle:
+    def _outcomes(self, *per_worker):
+        return [list(results) for results in per_worker]
+
+    def test_set_net_counts(self):
+        spec = WorkloadSpec(structure="hashmap", initial_size=0,
+                            ops_per_thread=1, num_threads=2)
+        outcomes = self._outcomes(
+            [("insert", 5, True)],
+            [("insert", 5, False), ("delete", 7, False)])
+        assert expected_final_keys(spec, outcomes) == {5}
+
+    def test_set_delete_of_initial(self):
+        spec = WorkloadSpec(structure="hashmap", initial_size=3,
+                            num_threads=1, seed=1)
+        start = initial_keys(spec)
+        outcomes = self._outcomes([("delete", start[0], True)])
+        assert expected_final_keys(spec, outcomes) == set(start[1:])
+
+    def test_set_impossible_net_count_raises(self):
+        spec = WorkloadSpec(structure="hashmap", initial_size=0,
+                            num_threads=1)
+        outcomes = self._outcomes(
+            [("insert", 5, True), ("insert", 5, True)])
+        with pytest.raises(AssertionError):
+            expected_final_keys(spec, outcomes)
+
+    def test_queue_cross_worker_dequeue_ok(self):
+        spec = WorkloadSpec(structure="queue", initial_size=0,
+                            num_threads=2)
+        outcomes = self._outcomes(
+            [("delete", -1, 2_000_000)],     # dequeues worker 2's value
+            [("insert", 2_000_000, True)])
+        assert expected_final_keys(spec, outcomes) == set()
+
+    def test_queue_double_dequeue_raises(self):
+        spec = WorkloadSpec(structure="queue", initial_size=1,
+                            num_threads=2)
+        outcomes = self._outcomes(
+            [("delete", -1, -1)], [("delete", -1, -1)])
+        with pytest.raises(AssertionError):
+            expected_final_keys(spec, outcomes)
+
+    def test_queue_phantom_value_raises(self):
+        spec = WorkloadSpec(structure="queue", initial_size=0,
+                            num_threads=1)
+        outcomes = self._outcomes([("delete", -1, 42)])
+        with pytest.raises(AssertionError):
+            expected_final_keys(spec, outcomes)
+
+    def test_contains_ignored(self):
+        spec = WorkloadSpec(structure="hashmap", initial_size=0,
+                            num_threads=1, update_ratio=0.0)
+        outcomes = self._outcomes([("contains", 5, False)])
+        assert expected_final_keys(spec, outcomes) == set()

@@ -1,0 +1,155 @@
+"""Unit and property tests for the L1 cache and line metadata."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.l1cache import CacheLine, L1Cache, MESIState
+from repro.common.params import MachineConfig
+
+
+def _cache(sets=4, assoc=2):
+    config = MachineConfig(l1_size_bytes=sets * assoc * 64,
+                           l1_assoc=assoc)
+    return L1Cache(0, config)
+
+
+class TestCacheLineMetadata:
+    def test_clean_by_default(self):
+        line = CacheLine(addr=0x1000)
+        assert not line.has_pending
+        assert not line.is_released
+        assert not line.is_only_written
+
+    def test_first_write_stamps_min_epoch(self):
+        line = CacheLine(addr=0x1000, state=MESIState.MODIFIED)
+        line.record_write(0x1000, 5, event_id=1, epoch=7)
+        assert line.min_epoch == 7
+        assert line.is_only_written
+
+    def test_later_write_keeps_min_epoch(self):
+        line = CacheLine(addr=0x1000, state=MESIState.MODIFIED)
+        line.record_write(0x1000, 5, event_id=1, epoch=7)
+        line.record_write(0x1008, 6, event_id=2, epoch=9)
+        assert line.min_epoch == 7
+
+    def test_coalescing_keeps_youngest_value(self):
+        line = CacheLine(addr=0x1000, state=MESIState.MODIFIED)
+        line.record_write(0x1000, 5, event_id=1, epoch=7)
+        line.record_write(0x1000, 8, event_id=3, epoch=7)
+        assert line.pending_words[0x1000] == (8, 3)
+
+    def test_released_classification(self):
+        line = CacheLine(addr=0x1000, state=MESIState.MODIFIED)
+        line.record_write(0x1000, 5, event_id=1, epoch=7)
+        line.release_bit = True
+        assert line.is_released
+        assert not line.is_only_written
+
+    def test_take_persist_payload_clears(self):
+        line = CacheLine(addr=0x1000, state=MESIState.MODIFIED)
+        line.record_write(0x1000, 5, event_id=1, epoch=7)
+        line.release_bit = True
+        payload = line.take_persist_payload()
+        assert payload == {0x1000: (5, 1)}
+        assert not line.has_pending
+        assert line.min_epoch is None
+        assert not line.release_bit
+
+
+class TestL1Lookup:
+    def test_miss_returns_none(self):
+        assert _cache().lookup(0x1000) is None
+
+    def test_fill_then_hit(self):
+        cache = _cache()
+        cache.fill(0x1000, MESIState.EXCLUSIVE)
+        line = cache.lookup(0x1000)
+        assert line is not None
+        assert line.state is MESIState.EXCLUSIVE
+
+    def test_double_fill_rejected(self):
+        cache = _cache()
+        cache.fill(0x1000, MESIState.SHARED)
+        with pytest.raises(ValueError):
+            cache.fill(0x1000, MESIState.SHARED)
+
+    def test_fill_full_set_rejected(self):
+        cache = _cache(sets=1, assoc=2)
+        cache.fill(0x0, MESIState.SHARED)
+        cache.fill(0x40, MESIState.SHARED)
+        with pytest.raises(ValueError):
+            cache.fill(0x80, MESIState.SHARED)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            _cache().remove(0x1000)
+
+
+class TestVictimSelection:
+    def test_no_victim_when_room(self):
+        cache = _cache(sets=1, assoc=2)
+        cache.fill(0x0, MESIState.SHARED)
+        assert cache.select_victim(0x40) is None
+
+    def test_lru_victim(self):
+        cache = _cache(sets=1, assoc=2)
+        cache.fill(0x0, MESIState.SHARED)
+        cache.fill(0x40, MESIState.SHARED)
+        cache.lookup(0x0)  # touch: 0x40 is now LRU
+        victim = cache.select_victim(0x80)
+        assert victim.addr == 0x40
+
+    def test_lookup_without_touch_preserves_lru(self):
+        cache = _cache(sets=1, assoc=2)
+        cache.fill(0x0, MESIState.SHARED)
+        cache.fill(0x40, MESIState.SHARED)
+        cache.lookup(0x0, touch=False)
+        victim = cache.select_victim(0x80)
+        assert victim.addr == 0x0
+
+    def test_victim_same_set_only(self):
+        cache = _cache(sets=2, assoc=1)
+        cache.fill(0x0, MESIState.SHARED)    # set 0
+        cache.fill(0x40, MESIState.SHARED)   # set 1
+        victim = cache.select_victim(0x80)   # set 0
+        assert victim.addr == 0x0
+
+
+class TestScans:
+    def test_pending_lines(self):
+        cache = _cache()
+        a = cache.fill(0x0, MESIState.MODIFIED)
+        cache.fill(0x40, MESIState.SHARED)
+        a.record_write(0x0, 1, event_id=0, epoch=1)
+        pending = cache.pending_lines()
+        assert [l.addr for l in pending] == [0x0]
+
+    def test_resident_count(self):
+        cache = _cache()
+        cache.fill(0x0, MESIState.SHARED)
+        cache.fill(0x40, MESIState.SHARED)
+        assert cache.resident_count() == 2
+
+
+class TestLRUProperty:
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_lru(self, accesses):
+        """The cache behaves exactly like a reference LRU model."""
+        cache = _cache(sets=1, assoc=4)
+        reference = []  # most recent last
+        for line_no in accesses:
+            addr = line_no * 64
+            line = cache.lookup(addr)
+            if line is None:
+                victim = cache.select_victim(addr)
+                if victim is not None:
+                    assert reference[0] == victim.addr
+                    cache.remove(victim.addr)
+                    reference.pop(0)
+                cache.fill(addr, MESIState.SHARED)
+                reference.append(addr)
+            else:
+                reference.remove(addr)
+                reference.append(addr)
+            assert cache.resident_count() == len(reference)

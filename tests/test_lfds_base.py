@@ -1,0 +1,100 @@
+"""Unit tests for the shared LFD infrastructure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thread import OpKind
+from repro.lfds.base import (
+    KEY_MAX,
+    KEY_MIN,
+    NULL,
+    ImageReader,
+    LogFreeStructure,
+    RecoveryReport,
+    alloc_header_write,
+    field,
+    free_header_write,
+    header_addr,
+    is_marked,
+    mark,
+    unmark,
+)
+from repro.memory.address import HeapAllocator
+
+
+class TestMarking:
+    def test_mark_sets_low_bit(self):
+        assert mark(0x1000) == 0x1001
+
+    def test_unmark_clears(self):
+        assert unmark(0x1001) == 0x1000
+        assert unmark(0x1000) == 0x1000
+
+    def test_is_marked(self):
+        assert is_marked(0x1001)
+        assert not is_marked(0x1000)
+        assert not is_marked(None)
+        assert not is_marked(NULL)
+
+    @given(st.integers(0, 1 << 40).map(lambda x: x * 8))
+    def test_roundtrip(self, addr):
+        assert unmark(mark(addr)) == addr
+        assert is_marked(mark(addr))
+
+
+class TestFieldMath:
+    def test_field_offsets(self):
+        assert field(0x1000, 0) == 0x1000
+        assert field(0x1000, 3) == 0x1018
+
+    def test_header_addr(self):
+        assert header_addr(0x1008) == 0x1000
+
+    def test_header_ops(self):
+        op = alloc_header_write(0x1008, 5)
+        assert op.kind is OpKind.WRITE
+        assert op.addr == 0x1000
+        assert op.value == 5
+        free_op = free_header_write(0x1008)
+        assert free_op.addr == 0x1000
+        assert free_op.value == 0
+
+    def test_sentinel_keys_bracket_everything(self):
+        assert KEY_MIN < -(1 << 40) < 0 < (1 << 40) < KEY_MAX
+
+
+class TestRecoveryReport:
+    def test_truthiness(self):
+        assert RecoveryReport("x", True, [])
+        assert not RecoveryReport("x", False, ["bad"])
+
+
+class TestImageReader:
+    def test_word_and_present(self):
+        reader = ImageReader({0x8: 42})
+        assert reader.word(0x8) == 42
+        assert reader.word(0x10) is None
+        assert reader.present(0x8)
+        assert not reader.present(0x10)
+
+
+class TestArenas:
+    def test_use_arena_routes_allocations(self):
+        structure = LogFreeStructure(HeapAllocator(line_bytes=64))
+        structure.use_arena(3)
+        arena_node = structure._alloc_node(2, tid=3)
+        shared_node = structure._alloc_node(2, tid=None)
+        assert abs(arena_node - shared_node) > 1 << 20
+
+    def test_unregistered_tid_falls_back(self):
+        structure = LogFreeStructure(HeapAllocator(line_bytes=64))
+        a = structure._alloc_node(2, tid=9)   # no arena registered
+        b = structure._alloc_node(2)
+        assert abs(a - b) < 1024
+
+    def test_header_word_precedes_node(self):
+        structure = LogFreeStructure(HeapAllocator(line_bytes=64))
+        node = structure._alloc_node(3)
+        next_node = structure._alloc_node(3)
+        # Layout [header][3 words]: nodes are 4 words apart.
+        assert next_node - node == 4 * 8

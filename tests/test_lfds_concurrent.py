@@ -1,0 +1,77 @@
+"""Concurrent correctness of the LFDs under simulated multithreading.
+
+The scheduler interleaves worker coroutines at memory-op granularity,
+so these runs exercise the lock-free algorithms' races (helping,
+failed CASes, concurrent marks). The oracle is interleaving-
+independent (net insert/delete count per key).
+"""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.core.simulator import simulate
+from repro.lfds import WORKLOAD_NAMES
+from repro.workloads.harness import WorkloadSpec
+
+CFG = MachineConfig(num_cores=8, l1_size_bytes=8 * 1024)
+
+
+def _spec(workload, seed=0, threads=6, size=96, ops=24):
+    return WorkloadSpec(structure=workload, num_threads=threads,
+                        initial_size=size, ops_per_thread=ops,
+                        seed=seed)
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.parametrize("seed", range(4))
+class TestConcurrentFinalState:
+    def test_final_state_matches_oracle(self, workload, seed):
+        result = simulate(_spec(workload, seed=seed), mechanism="nop",
+                          config=CFG)
+        result.verify_final_state()
+
+    def test_final_state_under_lrp(self, workload, seed):
+        result = simulate(_spec(workload, seed=seed), mechanism="lrp",
+                          config=CFG)
+        result.verify_final_state()
+        result.verify_durable_final_state()
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+class TestConcurrentStructuralValidity:
+    def test_volatile_structure_valid_after_run(self, workload):
+        result = simulate(_spec(workload, seed=11), mechanism="nop",
+                          config=CFG)
+        report = result.structure.validate_image(
+            result.trace.memory_snapshot())
+        assert report.ok, report.problems
+
+    def test_high_contention_tiny_keyspace(self, workload):
+        """Hammer a tiny structure: maximal CAS conflicts & helping."""
+        spec = WorkloadSpec(structure=workload, num_threads=8,
+                            initial_size=4, ops_per_thread=30,
+                            key_range=6, seed=3)
+        result = simulate(spec, mechanism="nop", config=CFG)
+        result.verify_final_state()
+
+    def test_interleavings_differ_across_mechanisms_but_agree(self,
+                                                              workload):
+        """Different mechanisms produce different timings (hence
+        interleavings), yet each run is linearizable."""
+        for mech in ("nop", "sb", "bb", "lrp", "arp"):
+            result = simulate(_spec(workload, seed=5), mechanism=mech,
+                              config=CFG)
+            result.verify_final_state()
+
+
+class TestOpCounts:
+    def test_every_worker_completes_all_ops(self):
+        spec = _spec("hashmap", threads=5, ops=17)
+        result = simulate(spec, mechanism="lrp", config=CFG)
+        for core_stats in result.stats.per_core:
+            assert core_stats.ops_completed == 17
+
+    def test_outcomes_recorded_per_worker(self):
+        spec = _spec("skiplist", threads=4, ops=9)
+        result = simulate(spec, mechanism="bb", config=CFG)
+        assert all(len(o) == 9 for o in result.outcomes)

@@ -1,0 +1,236 @@
+"""Sequential correctness of every LFD against a reference model.
+
+Each structure runs single-threaded on the simulated machine through
+randomized insert/delete/contains sequences; results must match a
+Python set/list oracle exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import MachineConfig
+from repro.common.rng import make_rng
+from repro.core.machine import Machine
+from repro.core.scheduler import Scheduler
+from repro.lfds import (
+    BinarySearchTree,
+    HashMap,
+    LinkedList,
+    MichaelScottQueue,
+    SkipList,
+)
+from repro.memory.address import HeapAllocator
+
+CFG = MachineConfig(num_cores=2)
+
+SET_STRUCTURES = [LinkedList, HashMap, BinarySearchTree, SkipList]
+
+
+def _build(cls):
+    allocator = HeapAllocator(line_bytes=CFG.line_bytes)
+    if cls is HashMap:
+        return cls(allocator, num_buckets=8)
+    return cls(allocator)
+
+
+def _drive(structure, script, initial=None):
+    """Run a (op, key) script single-threaded; return results list."""
+    machine = Machine(CFG, "nop")
+    memory = {}
+    structure.build_initial(initial or [], memory)
+    machine.install_initial_state(memory)
+    results = []
+
+    def worker(tid):
+        for op, key in script:
+            if op == "insert":
+                ok = yield from structure.insert(key, key * 10 + 1)
+            elif op == "delete":
+                ok = yield from structure.delete(key)
+            else:
+                ok = yield from structure.contains(key)
+            results.append(ok)
+
+    Scheduler(machine, [worker]).run()
+    return results, machine
+
+
+def _oracle(script, initial=None):
+    present = set(initial or [])
+    expected = []
+    for op, key in script:
+        if op == "insert":
+            expected.append(key not in present)
+            present.add(key)
+        elif op == "delete":
+            expected.append(key in present)
+            present.discard(key)
+        else:
+            expected.append(key in present)
+    return expected, present
+
+
+def _script(seed, length, key_range=12):
+    rng = make_rng(seed, "script")
+    ops = ["insert", "delete", "contains"]
+    return [(rng.choice(ops), rng.randrange(key_range))
+            for _ in range(length)]
+
+
+@pytest.mark.parametrize("cls", SET_STRUCTURES,
+                         ids=lambda c: c.name)
+class TestSetSemantics:
+    def test_insert_then_contains(self, cls):
+        structure = _build(cls)
+        results, _ = _drive(structure, [
+            ("insert", 5), ("contains", 5), ("contains", 6),
+        ])
+        assert results == [True, True, False]
+
+    def test_duplicate_insert_fails(self, cls):
+        structure = _build(cls)
+        results, _ = _drive(structure, [("insert", 5), ("insert", 5)])
+        assert results == [True, False]
+
+    def test_delete_semantics(self, cls):
+        structure = _build(cls)
+        results, _ = _drive(structure, [
+            ("insert", 5), ("delete", 5), ("delete", 5),
+            ("contains", 5),
+        ])
+        assert results == [True, True, False, False]
+
+    def test_reinsert_after_delete(self, cls):
+        structure = _build(cls)
+        results, _ = _drive(structure, [
+            ("insert", 5), ("delete", 5), ("insert", 5),
+            ("contains", 5),
+        ])
+        assert results == [True, True, True, True]
+
+    def test_initial_population_visible(self, cls):
+        structure = _build(cls)
+        results, _ = _drive(structure, [
+            ("contains", 2), ("insert", 2), ("delete", 2),
+            ("contains", 2),
+        ], initial=[1, 2, 3])
+        assert results == [True, False, True, False]
+
+    def test_collect_keys_matches_oracle(self, cls):
+        structure = _build(cls)
+        script = _script(7, 40)
+        _, machine = _drive(structure, script, initial=[1, 4, 9])
+        _, present = _oracle(script, initial=[1, 4, 9])
+        assert structure.collect_keys(
+            machine.trace.memory_snapshot()) == present
+
+    def test_final_image_validates(self, cls):
+        structure = _build(cls)
+        script = _script(3, 30)
+        _, machine = _drive(structure, script)
+        machine.finish(1_000_000)
+        report = structure.validate_image(machine.nvm.final_image())
+        assert report.ok, report.problems
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_scripts_match_oracle(self, cls, seed):
+        structure = _build(cls)
+        script = _script(seed, 60)
+        results, _ = _drive(structure, script, initial=[0, 5, 11])
+        expected, _ = _oracle(script, initial=[0, 5, 11])
+        assert results == expected
+
+
+class TestSetSemanticsProperty:
+    @given(st.sampled_from(SET_STRUCTURES),
+           st.lists(st.tuples(
+               st.sampled_from(["insert", "delete", "contains"]),
+               st.integers(0, 9)), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle(self, cls, script):
+        structure = _build(cls)
+        results, _ = _drive(structure, script)
+        expected, _ = _oracle(script)
+        assert results == expected
+
+
+class TestQueueSequential:
+    def test_fifo_order(self):
+        queue = _build(MichaelScottQueue)
+        machine = Machine(CFG, "nop")
+        memory = {}
+        queue.build_initial([], memory)
+        machine.install_initial_state(memory)
+        out = []
+
+        def worker(tid):
+            for v in (10, 20, 30):
+                yield from queue.enqueue(v)
+            for _ in range(4):
+                value = yield from queue.dequeue()
+                out.append(value)
+
+        Scheduler(machine, [worker]).run()
+        assert out == [10, 20, 30, None]
+
+    def test_initial_values_dequeue_first(self):
+        queue = _build(MichaelScottQueue)
+        machine = Machine(CFG, "nop")
+        memory = {}
+        queue.build_initial([-1, -2], memory)
+        machine.install_initial_state(memory)
+        out = []
+
+        def worker(tid):
+            yield from queue.enqueue(99)
+            for _ in range(3):
+                value = yield from queue.dequeue()
+                out.append(value)
+
+        Scheduler(machine, [worker]).run()
+        assert out == [-1, -2, 99]
+
+    def test_collect_keys_is_remaining_values(self):
+        queue = _build(MichaelScottQueue)
+        machine = Machine(CFG, "nop")
+        memory = {}
+        queue.build_initial([-1, -2, -3], memory)
+        machine.install_initial_state(memory)
+
+        def worker(tid):
+            yield from queue.dequeue()
+            yield from queue.enqueue(7)
+
+        Scheduler(machine, [worker]).run()
+        assert queue.collect_keys(
+            machine.trace.memory_snapshot()) == {-2, -3, 7}
+
+    def test_final_image_validates(self):
+        queue = _build(MichaelScottQueue)
+        machine = Machine(CFG, "nop")
+        memory = {}
+        queue.build_initial([-1], memory)
+        machine.install_initial_state(memory)
+
+        def worker(tid):
+            yield from queue.enqueue(5)
+            yield from queue.dequeue()
+
+        Scheduler(machine, [worker]).run()
+        machine.finish(1_000_000)
+        assert queue.validate_image(machine.nvm.final_image()).ok
+
+
+class TestSkipListDeterminism:
+    def test_levels_deterministic_per_key(self):
+        a = _build(SkipList)
+        b = _build(SkipList)
+        for key in range(200):
+            assert a.level_for(key) == b.level_for(key)
+
+    def test_levels_geometric(self):
+        sl = _build(SkipList)
+        levels = [sl.level_for(k) for k in range(4096)]
+        ones = sum(1 for l in levels if l == 1)
+        assert 0.4 < ones / len(levels) < 0.6
+        assert max(levels) <= sl.max_level

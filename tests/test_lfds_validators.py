@@ -1,0 +1,183 @@
+"""Validator sensitivity tests for BST, skip list and queue.
+
+Each structural recovery validator must accept clean images and
+pre-populated builds, and must detect seeded corruptions of the kind a
+too-weak persistency model can produce (reachable-but-uninitialized
+nodes, broken ordering, dangling/overtaking pointers, cycles).
+"""
+
+import pytest
+
+from repro.lfds.bst import (
+    ALIVE,
+    KEY as B_KEY,
+    LEFT,
+    RIGHT,
+    BinarySearchTree,
+)
+from repro.lfds.queue import NEXT as Q_NEXT, VALUE, MichaelScottQueue
+from repro.lfds.skiplist import HEADER_WORDS, SkipList
+from repro.lfds.base import field, mark
+from repro.memory.address import HeapAllocator
+
+
+def _alloc():
+    return HeapAllocator(line_bytes=64)
+
+
+class TestBSTValidator:
+    def _tree(self, keys=(5, 2, 8, 1, 9)):
+        tree = BinarySearchTree(_alloc())
+        memory = {}
+        tree.build_initial(keys, memory)
+        return tree, memory
+
+    def test_clean_build_passes(self):
+        tree, memory = self._tree()
+        report = tree.validate_image(memory)
+        assert report.ok
+        assert report.live_keys == {5, 2, 8, 1, 9}
+        assert report.reachable_nodes == 5
+
+    def test_empty_tree_passes(self):
+        tree, memory = self._tree(keys=())
+        assert tree.validate_image(memory).ok
+
+    def test_uninitialized_child_detected(self):
+        tree, memory = self._tree()
+        root = memory[tree.root_ptr]
+        memory[field(root, LEFT)] = 0x666000   # ghost node
+        report = tree.validate_image(memory)
+        assert not report.ok
+        assert "never persisted" in report.problems[0]
+
+    def test_bst_ordering_violation_detected(self):
+        tree, memory = self._tree()
+        root = memory[tree.root_ptr]
+        left = memory[field(root, LEFT)]
+        memory[field(left, B_KEY)] = 99   # > root key on the left
+        report = tree.validate_image(memory)
+        assert not report.ok
+        assert any("ordering" in p for p in report.problems)
+
+    def test_tombstone_not_live(self):
+        tree, memory = self._tree()
+        root = memory[tree.root_ptr]
+        memory[field(root, ALIVE)] = 0
+        report = tree.validate_image(memory)
+        assert report.ok
+        assert 5 not in report.live_keys
+
+    def test_bad_alive_word_detected(self):
+        tree, memory = self._tree()
+        root = memory[tree.root_ptr]
+        memory[field(root, ALIVE)] = 7
+        assert not tree.validate_image(memory).ok
+
+    def test_cycle_detected(self):
+        tree, memory = self._tree()
+        root = memory[tree.root_ptr]
+        right = memory[field(root, RIGHT)]
+        memory[field(right, RIGHT)] = root
+        assert not tree.validate_image(memory).ok
+
+    def test_missing_root_pointer_detected(self):
+        tree, memory = self._tree()
+        del memory[tree.root_ptr]
+        assert not tree.validate_image(memory).ok
+
+
+class TestSkipListValidator:
+    def _list(self, keys=(3, 7, 11, 20)):
+        skiplist = SkipList(_alloc())
+        memory = {}
+        skiplist.build_initial(keys, memory)
+        return skiplist, memory
+
+    def test_clean_build_passes(self):
+        skiplist, memory = self._list()
+        report = skiplist.validate_image(memory)
+        assert report.ok
+        assert report.live_keys == {3, 7, 11, 20}
+
+    def test_empty_passes(self):
+        skiplist, memory = self._list(keys=())
+        assert skiplist.validate_image(memory).ok
+
+    def test_upper_levels_form_subchains(self):
+        skiplist, memory = self._list(keys=tuple(range(64)))
+        assert skiplist.validate_image(memory).ok
+
+    def test_uninitialized_node_detected(self):
+        skiplist, memory = self._list()
+        first = memory[skiplist._next_addr(skiplist.head, 0)]
+        memory[skiplist._next_addr(skiplist.head, 0)] = 0x777000
+        report = skiplist.validate_image(memory)
+        assert not report.ok
+        assert "never persisted" in report.problems[0]
+
+    def test_level0_ordering_violation_detected(self):
+        skiplist, memory = self._list()
+        first = memory[skiplist._next_addr(skiplist.head, 0)]
+        memory[field(first, 0)] = 1000   # KEY out of order
+        assert not skiplist.validate_image(memory).ok
+
+    def test_marked_node_not_live(self):
+        skiplist, memory = self._list()
+        first = memory[skiplist._next_addr(skiplist.head, 0)]
+        link = skiplist._next_addr(first, 0)
+        memory[link] = mark(memory[link])
+        report = skiplist.validate_image(memory)
+        assert report.ok
+        assert 3 not in report.live_keys
+
+    def test_missing_head_level_detected(self):
+        skiplist, memory = self._list()
+        del memory[skiplist._next_addr(skiplist.head, 2)]
+        assert not skiplist.validate_image(memory).ok
+
+
+class TestQueueValidator:
+    def _queue(self, values=(-1, -2, -3)):
+        queue = MichaelScottQueue(_alloc())
+        memory = {}
+        queue.build_initial(values, memory)
+        return queue, memory
+
+    def test_clean_build_passes(self):
+        queue, memory = self._queue()
+        report = queue.validate_image(memory)
+        assert report.ok
+        assert report.live_keys == {-1, -2, -3}
+
+    def test_empty_queue_passes(self):
+        queue, memory = self._queue(values=())
+        assert queue.validate_image(memory).ok
+
+    def test_uninitialized_node_detected(self):
+        queue, memory = self._queue()
+        head = memory[queue.head_ptr]
+        memory[field(head, Q_NEXT)] = 0x888000
+        report = queue.validate_image(memory)
+        assert not report.ok
+        assert "never persisted" in report.problems[0]
+
+    def test_tail_overtaking_chain_detected(self):
+        queue, memory = self._queue()
+        memory[queue.tail_ptr] = 0x999000   # unreachable "node"
+        report = queue.validate_image(memory)
+        assert not report.ok
+        assert any("tail" in p for p in report.problems)
+
+    def test_missing_head_pointer_detected(self):
+        queue, memory = self._queue()
+        del memory[queue.head_ptr]
+        assert not queue.validate_image(memory).ok
+
+    def test_cycle_detected(self):
+        queue, memory = self._queue()
+        head = memory[queue.head_ptr]
+        first = memory[field(head, Q_NEXT)]
+        memory[field(first, Q_NEXT)] = head
+        memory[queue.tail_ptr] = head
+        assert not queue.validate_image(memory).ok

@@ -1,0 +1,147 @@
+"""Litmus tests for the persistency-model predicates (Sections 3-4).
+
+The centerpiece is the paper's Figure 1: the persist order
+``link-before-fields`` must be allowed by ARP (its documented weakness)
+and forbidden by RP.
+"""
+
+import pytest
+
+from repro.consistency.litmus import (
+    FIG1_ADDRS,
+    all_interleavings,
+    cas,
+    figure1_initial_memory,
+    figure1_insert,
+    figure1_sequential_schedule,
+    read,
+    run_interleaving,
+    write,
+)
+from repro.consistency.events import MemOrder
+from repro.persistency.rp_model import (
+    arp_allows,
+    arp_pairs,
+    persist_sequence_from_log,
+    rp_allows,
+)
+
+
+def _figure1_trace():
+    return run_interleaving(figure1_insert(),
+                            figure1_sequential_schedule(),
+                            init=figure1_initial_memory())
+
+
+class TestInterpreter:
+    def test_sequential_schedule_succeeds(self):
+        trace = _figure1_trace()
+        # Both CASes must have succeeded in the sequential interleaving.
+        rmws = [e for e in trace.events if e.kind.value == "rmw"]
+        assert len(rmws) == 2
+        assert all(e.success for e in rmws)
+
+    def test_schedule_overrun_rejected(self):
+        program = [[write(0x8, 1)]]
+        with pytest.raises(ValueError):
+            run_interleaving(program, [0, 0])
+
+    def test_schedule_underrun_rejected(self):
+        program = [[write(0x8, 1), write(0x10, 2)]]
+        with pytest.raises(ValueError):
+            run_interleaving(program, [0])
+
+    def test_all_interleavings_count(self):
+        program = [[write(0x8, 1)], [write(0x10, 2), read(0x8)]]
+        schedules = list(all_interleavings(program))
+        assert len(schedules) == 3  # C(3,1) placements of thread 0's op
+
+    def test_ops_constructors(self):
+        op = cas(0x8, 1, 2)
+        assert op.kind == "cas"
+        assert op.order is MemOrder.RELEASE
+        assert read(0x8).kind == "r"
+        assert write(0x8, 0).kind == "w"
+
+
+class TestFigure1Semantics:
+    def test_rp_forbids_link_before_fields(self):
+        """The Figure 1(e) failure: the linking CAS persists first."""
+        trace = _figure1_trace()
+        link_cas = next(e for e in trace.events
+                        if e.is_release and e.thread_id == 0)
+        # Persist ONLY the link (crash before the fields persist).
+        assert not rp_allows(trace, [link_cas.event_id])
+
+    def test_arp_allows_link_before_fields(self):
+        trace = _figure1_trace()
+        link_cas = next(e for e in trace.events
+                        if e.is_release and e.thread_id == 0)
+        assert arp_allows(trace, [link_cas.event_id])
+
+    def test_rp_allows_program_order_persists(self):
+        trace = _figure1_trace()
+        order = [e.event_id for e in trace.writes()]
+        assert rp_allows(trace, order)
+        assert arp_allows(trace, order)
+
+    def test_rp_allows_prefix_crashes_of_program_order(self):
+        trace = _figure1_trace()
+        order = [e.event_id for e in trace.writes()]
+        for cut in range(len(order) + 1):
+            assert rp_allows(trace, order[:cut])
+
+    def test_arp_rule_pairs_cross_thread(self):
+        """W(T0) po Rel sw Acq po W'(T1) => ordered under ARP."""
+        trace = _figure1_trace()
+        pairs = arp_pairs(trace)
+        t0_fields = [e.event_id for e in trace.events
+                     if e.thread_id == 0 and e.is_write_effect
+                     and not e.is_release]
+        t1_fields = [e.event_id for e in trace.events
+                     if e.thread_id == 1 and e.is_write_effect
+                     and not e.is_release]
+        for w0 in t0_fields:
+            for w1 in t1_fields:
+                assert (w0, w1) in pairs
+
+    def test_arp_forbids_cross_thread_inversion(self):
+        trace = _figure1_trace()
+        t0_field = next(e.event_id for e in trace.events
+                        if e.thread_id == 0 and e.is_write_effect)
+        t1_field = next(e.event_id for e in trace.events
+                        if e.thread_id == 1 and e.is_write_effect)
+        assert not arp_allows(trace, [t1_field, t0_field])
+        # RP forbids it as well (RP is strictly stronger).
+        assert not rp_allows(trace, [t1_field, t0_field])
+
+    def test_rp_stronger_than_arp_on_all_interleavings(self):
+        """Any persist sequence RP allows, ARP allows too (Section 4:
+        RP strengthens ARP)."""
+        program = figure1_insert()
+        init = figure1_initial_memory()
+        checked = 0
+        for schedule in all_interleavings(program):
+            trace = run_interleaving(program, schedule, init=init)
+            order = [e.event_id for e in trace.writes()]
+            for cut in range(len(order) + 1):
+                seq = order[:cut]
+                if rp_allows(trace, seq):
+                    assert arp_allows(trace, seq)
+                checked += 1
+            if checked > 400:
+                break
+
+    def test_duplicate_persist_rejected(self):
+        trace = _figure1_trace()
+        w = trace.writes()[0].event_id
+        with pytest.raises(ValueError):
+            rp_allows(trace, [w, w])
+
+
+class TestPersistSequenceFromLog:
+    def test_dedup_and_order(self):
+        trace = _figure1_trace()
+        log = [{0x100: 0}, {0x100: 0, 0x108: 1}, {0x110: 2}]
+        seq = persist_sequence_from_log(trace, log)
+        assert seq == [0, 1, 2]

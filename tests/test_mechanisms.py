@@ -1,0 +1,383 @@
+"""Unit tests for the persistency mechanisms (NOP/SB/BB/LRP/ARP).
+
+These drive a small Machine directly with hand-built op sequences and
+inspect stalls, persist issue/completion times and the resulting
+persist log — the microarchitectural contracts of Sections 3, 5 and
+6.2 of the paper.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.consistency.events import MemOrder
+from repro.core.machine import Machine
+from repro.core.thread import cas, load, store
+from repro.memory.address import line_address
+
+CFG = MachineConfig(num_cores=4, num_memory_controllers=2,
+                    nvm_cached_occupancy=16)
+
+LINE_A = 0x1000   # node fields
+LINE_B = 0x2000   # link word
+LINE_C = 0x3000
+
+
+def machine(mech, config=CFG):
+    return Machine(config, mech)
+
+
+def run_ops(m, ops, start=0):
+    """Execute (core, op) pairs back-to-back; returns (results, clocks)."""
+    clocks = {}
+    results = []
+    for core, op in ops:
+        now = clocks.get(core, start)
+        result, latency = m.execute(core, op, now)
+        clocks[core] = now + latency
+        results.append((result, latency))
+    return results, clocks
+
+
+class TestNOP:
+    def test_no_stalls_ever(self):
+        m = machine("nop")
+        _, clocks = run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+            (1, load(LINE_B, MemOrder.ACQUIRE)),
+        ])
+        assert all(c.persist_stall_cycles == 0 for c in m.stats)
+
+    def test_downgrade_persists_dirty_data(self):
+        m = machine("nop")
+        run_ops(m, [
+            (0, store(LINE_A, 7)),
+            (1, load(LINE_A)),     # downgrade M->S
+        ])
+        assert m.nvm.final_image().get(LINE_A) == 7
+
+    def test_drain_persists_everything(self):
+        m = machine("nop")
+        run_ops(m, [(0, store(LINE_A, 7))])
+        m.finish(10_000)
+        assert m.nvm.final_image().get(LINE_A) == 7
+
+
+class TestSB:
+    def test_release_pays_two_barriers(self):
+        m = machine("sb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+        ])
+        # Barrier before (flush LINE_A) + barrier after (flush LINE_B):
+        # at least two full persist round-trips of stall.
+        assert m.stats[0].persist_stall_cycles >= 2 * 120
+        assert m.stats[0].barrier_count == 2
+
+    def test_plain_writes_do_not_stall(self):
+        m = machine("sb")
+        run_ops(m, [(0, store(LINE_A, 1)), (0, store(LINE_B, 2))])
+        assert m.stats[0].persist_stall_cycles == 0
+
+    def test_fields_persist_before_release(self):
+        m = machine("sb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, cas(LINE_B, None, LINE_A, MemOrder.RELEASE)),
+        ])
+        log = m.nvm.persist_log()
+        addr_order = [r.line_addr for r in log]
+        assert addr_order.index(LINE_A) < addr_order.index(LINE_B)
+
+    def test_inter_thread_downgrade_stalls_requester(self):
+        m = machine("sb")
+        run_ops(m, [(0, store(LINE_A, 1))])
+        m.execute(1, load(LINE_A), 0)
+        assert m.stats[1].persist_stall_cycles > 0
+        assert m.stats[0].persist_stall_cycles == 0
+
+    def test_eviction_of_dirty_line_blocks(self):
+        small = MachineConfig(num_cores=2, l1_size_bytes=2 * 64 * 1,
+                              l1_assoc=1)
+        m = machine("sb", small)
+        run_ops(m, [
+            (0, store(0x0, 1)),
+            (0, load(0x80)),    # same set, evicts dirty 0x0
+        ])
+        assert m.stats[0].persist_stall_cycles > 0
+        assert m.nvm.final_image().get(0x0) == 1
+
+
+class TestBB:
+    def test_barrier_does_not_stall(self):
+        m = machine("bb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+        ])
+        # Proactive flush: no blocking at the barrier itself.
+        assert m.stats[0].persist_stall_cycles == 0
+        assert m.stats[0].barrier_count == 2
+
+    def test_release_flushes_proactively(self):
+        m = machine("bb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+        ])
+        assert m.nvm.persist_count == 2  # both epochs issued
+
+    def test_epochs_persist_in_order(self):
+        m = machine("bb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+        ])
+        log = m.nvm.persist_log()
+        assert [r.line_addr for r in log] == [LINE_A, LINE_B]
+
+    def test_write_to_inflight_line_stalls(self):
+        """The Figure 2(a) conflict: writing a line whose older-epoch
+        flush is still in flight."""
+        m = machine("bb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),  # flushes LINE_A
+            (0, store(LINE_A, 3)),                    # conflict!
+        ])
+        assert m.stats[0].persist_stall_cycles > 0
+        assert m.stats[0].writebacks_critical >= 1
+
+    def test_write_much_later_no_conflict(self):
+        m = machine("bb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+        ])
+        m.execute(0, store(LINE_A, 3), 100_000)  # flush long acked
+        assert m.stats[0].persist_stall_cycles == 0
+
+    def test_downgrade_of_open_epoch_stalls_requester(self):
+        m = machine("bb")
+        run_ops(m, [(0, store(LINE_A, 1))])   # open epoch, unflushed
+        m.execute(1, load(LINE_A), 0)
+        assert m.stats[1].persist_stall_cycles > 0
+
+    def test_acquire_closes_open_epoch(self):
+        m = machine("bb")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, load(LINE_C, MemOrder.ACQUIRE)),
+        ])
+        assert m.nvm.persist_count == 1  # LINE_A flushed by the barrier
+
+    def test_acquire_without_dirty_lines_is_free(self):
+        m = machine("bb")
+        run_ops(m, [(0, load(LINE_C, MemOrder.ACQUIRE))])
+        assert m.stats[0].barrier_count == 0
+
+
+class TestLRP:
+    def test_writes_and_releases_never_stall_locally(self):
+        m = machine("lrp")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, cas(LINE_B, None, LINE_A, MemOrder.RELEASE)),
+            (0, store(LINE_C, 5)),
+        ])
+        assert m.stats[0].persist_stall_cycles == 0
+
+    def test_release_buffers_no_persist(self):
+        """LRP is lazy: nothing persists until coherence demands it."""
+        m = machine("lrp")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, cas(LINE_B, None, LINE_A, MemOrder.RELEASE)),
+        ])
+        assert m.nvm.persist_count == 0
+
+    def test_epoch_bumped_per_release(self):
+        m = machine("lrp")
+        mech = m.mechanism
+        assert mech.current_epoch(0) == 1
+        run_ops(m, [(0, store(LINE_B, 1, MemOrder.RELEASE))])
+        assert mech.current_epoch(0) == 2
+        run_ops(m, [(0, store(LINE_C, 1, MemOrder.RELEASE))], start=500)
+        assert mech.current_epoch(0) == 3
+
+    def test_ret_entry_allocated_and_squashed(self):
+        m = machine("lrp")
+        mech = m.mechanism
+        run_ops(m, [(0, store(LINE_B, 1, MemOrder.RELEASE))])
+        assert mech.ret_occupancy(0) == 1
+        m.execute(1, load(LINE_B), 0)  # I2 persists the release
+        assert mech.ret_occupancy(0) == 0
+
+    def test_i2_downgrade_blocks_requester_and_orders(self):
+        """Invariant I2 + the required W1 -> Rel persist order."""
+        m = machine("lrp")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, cas(LINE_B, None, LINE_A, MemOrder.RELEASE)),
+        ])
+        m.execute(1, load(LINE_B, MemOrder.ACQUIRE), 0)
+        assert m.stats[1].persist_stall_cycles > 0
+        log = m.nvm.persist_log()
+        addrs = [r.line_addr for r in log]
+        assert addrs.index(LINE_A) < addrs.index(LINE_B)
+        fields = next(r for r in log if r.line_addr == LINE_A)
+        release = next(r for r in log if r.line_addr == LINE_B)
+        assert fields.complete_time < release.complete_time
+
+    def test_i1_eviction_does_not_stall(self):
+        small = dataclasses.replace(CFG, l1_size_bytes=2 * 64 * 1,
+                                    l1_assoc=1)
+        m = machine("lrp", small)
+        run_ops(m, [
+            (0, store(0x0, 1, MemOrder.RELEASE)),
+            (0, load(0x80)),   # evicts the released line
+        ])
+        assert m.stats[0].persist_stall_cycles == 0
+        assert m.nvm.persist_count >= 1   # but it did persist
+
+    def test_i1_eviction_blocks_line_at_directory(self):
+        small = dataclasses.replace(CFG, l1_size_bytes=2 * 64 * 1,
+                                    l1_assoc=1)
+        m = machine("lrp", small)
+        run_ops(m, [
+            (0, store(0x0, 1, MemOrder.RELEASE)),
+            (0, load(0x80)),
+        ])
+        assert m.fabric.blocked_until(0x0) > 0
+
+    def test_i3_rmw_acquire_blocks_until_persist(self):
+        m = machine("lrp")
+        m.execute(0, store(LINE_B, 5), 0)
+        result, latency = m.execute(
+            0, cas(LINE_B, 5, 6, MemOrder.ACQ_REL), 1000)
+        assert result[0] is True
+        assert m.stats[0].persist_stall_cycles >= 120
+
+    def test_i4_writeback_blocks_line(self):
+        small = dataclasses.replace(CFG, l1_size_bytes=2 * 64 * 1,
+                                    l1_assoc=1)
+        m = machine("lrp", small)
+        run_ops(m, [
+            (0, store(0x0, 1)),     # only-written
+            (0, load(0x80)),        # evicts it; I4 blocks the line
+        ])
+        assert m.fabric.blocked_until(0x0) > 0
+
+    def test_figure4_engine_order(self):
+        """The Figure 4 scenario: persisting Release(F2) must persist
+        only-written X first, then Release(F1), then Release(F2)."""
+        m = machine("lrp")
+        line_f1, line_x, line_f2 = 0x5000, 0x6000, 0x7000
+        run_ops(m, [
+            (0, store(0x4000, 1)),                              # epoch 1 writes
+            (0, store(line_f1, 2, MemOrder.RELEASE)),           # F1 (epoch 2)
+            (0, store(line_x, 3)),                              # X (epoch 2)
+            (0, store(line_f2, 4, MemOrder.RELEASE)),           # F2 (epoch 3)
+        ])
+        # Downgrade F2: triggers the persist engine with e_rel=3.
+        m.execute(1, load(line_f2, MemOrder.ACQUIRE), 0)
+        log = m.nvm.persist_log()
+        completes = {r.line_addr: r.complete_time for r in log}
+        assert completes[line_x] < completes[line_f1]
+        assert completes[line_f1] < completes[line_f2]
+        assert completes[0x4000] < completes[line_f1]
+
+    def test_ret_watermark_triggers_background_drain(self):
+        config = dataclasses.replace(CFG, ret_entries=4, ret_watermark=3)
+        m = machine("lrp", config)
+        ops = []
+        for i in range(6):
+            ops.append((0, store(0x1000 + i * 0x100, i,
+                                 MemOrder.RELEASE)))
+        run_ops(m, ops)
+        assert m.mechanism.stats_ret_watermark_drains > 0
+        assert m.mechanism.ret_occupancy(0) < 4
+        assert m.stats[0].persist_stall_cycles == 0  # off critical path
+
+    def test_epoch_wrap_drains(self):
+        config = dataclasses.replace(CFG, epoch_bits=3)  # wrap at 8
+        m = machine("lrp", config)
+        ops = [(0, store(0x1000 + i * 0x100, i, MemOrder.RELEASE))
+               for i in range(10)]
+        run_ops(m, ops)
+        assert m.mechanism.stats_epoch_wraps >= 1
+        assert m.mechanism.current_epoch(0) <= 8
+
+    def test_release_on_dirty_line_persists_old_content_first(self):
+        m = machine("lrp")
+        run_ops(m, [
+            (0, store(LINE_B, 1)),                            # dirty
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),          # same line
+        ])
+        # The old only-written content was persisted; the release is
+        # freshly buffered.
+        assert m.nvm.persist_count == 1
+        line = m.fabric.l1s[0].lookup(LINE_B)
+        assert line.is_released
+
+    def test_drain_orders_writes_before_releases(self):
+        m = machine("lrp")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+            (0, store(LINE_C, 3)),
+        ])
+        m.finish(10_000)
+        log = m.nvm.persist_log()
+        completes = {r.line_addr: r.complete_time for r in log}
+        assert completes[LINE_A] < completes[LINE_B]
+
+
+class TestARP:
+    def test_never_stalls(self):
+        m = machine("arp")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+            (1, load(LINE_B, MemOrder.ACQUIRE)),
+            (1, store(LINE_C, 3)),
+        ])
+        assert all(c.persist_stall_cycles == 0 for c in m.stats)
+
+    def test_persists_word_granular_immediately(self):
+        m = machine("arp")
+        run_ops(m, [(0, store(LINE_A, 1))])
+        assert m.nvm.persist_count == 1
+
+    def test_arp_rule_enforced_across_sync(self):
+        """W(T0) before Rel must persist before W(T1) after Acq."""
+        m = machine("arp")
+        run_ops(m, [
+            (0, store(LINE_A, 1)),
+            (0, store(LINE_B, 2, MemOrder.RELEASE)),
+        ])
+        m.execute(1, load(LINE_B, MemOrder.ACQUIRE), 0)
+        m.execute(1, store(LINE_C, 3), 5)
+        log = m.nvm.persist_log()
+        completes = {r.line_addr: r.complete_time for r in log}
+        assert completes[LINE_A] <= completes[LINE_C]
+
+    def test_release_may_persist_before_fields(self):
+        """The Figure 1(e) weakness: same-epoch persists are unordered,
+        so with a congested fields-channel the release can win."""
+        config = dataclasses.replace(CFG, num_memory_controllers=2)
+        m = machine("arp", config)
+        # Congest the channel of LINE_A (channel = line index % 2).
+        filler = [(1, store(0x4000 + i * 0x80, i)) for i in range(10)]
+        run_ops(m, filler)
+        run_ops(m, [
+            (0, store(0x4000, 1)),                     # fields, busy channel
+            (0, store(0x4040, 2, MemOrder.RELEASE)),   # release, idle one
+        ])
+        log = m.nvm.persist_log()
+        fields = [r for r in log if r.line_addr == 0x4000]
+        release = next(r for r in log if r.line_addr == 0x4040)
+        assert release.complete_time < fields[-1].complete_time

@@ -1,0 +1,211 @@
+"""Tests for the Natarajan-Mittal external BST (the paper's bstree)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import MachineConfig
+from repro.core.machine import Machine
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import simulate
+from repro.lfds.nmbst import (
+    FLAG,
+    INF0,
+    INF1,
+    INF2,
+    KEY,
+    LEFT,
+    RIGHT,
+    TAG,
+    NMTree,
+    addr_of,
+    is_flagged,
+    is_tagged,
+)
+from repro.lfds.base import field
+from repro.memory.address import HeapAllocator
+from repro.workloads.harness import WorkloadSpec
+
+CFG = MachineConfig(num_cores=8, l1_size_bytes=8 * 1024)
+
+
+def _tree():
+    return NMTree(HeapAllocator(line_bytes=64))
+
+
+def _drive(tree, script, initial=()):
+    machine = Machine(CFG, "nop")
+    memory = {}
+    tree.build_initial(initial, memory)
+    machine.install_initial_state(memory)
+    results = []
+
+    def worker(tid):
+        for op, key in script:
+            if op == "insert":
+                ok = yield from tree.insert(key, key * 10)
+            elif op == "delete":
+                ok = yield from tree.delete(key)
+            else:
+                ok = yield from tree.contains(key)
+            results.append(ok)
+
+    Scheduler(machine, [worker]).run()
+    return results, machine
+
+
+class TestEdgeBits:
+    def test_addr_of_strips_marks(self):
+        assert addr_of(0x1000 | FLAG) == 0x1000
+        assert addr_of(0x1000 | TAG) == 0x1000
+        assert addr_of(0x1000 | FLAG | TAG) == 0x1000
+        assert addr_of(None) == 0
+
+    def test_flag_tag_predicates(self):
+        assert is_flagged(0x1000 | FLAG)
+        assert not is_flagged(0x1000 | TAG)
+        assert is_tagged(0x1000 | TAG)
+        assert not is_tagged(None)
+
+    def test_sentinel_key_order(self):
+        assert INF0 < INF1 < INF2
+
+
+class TestSentinelSkeleton:
+    def test_empty_tree_valid(self):
+        tree = _tree()
+        memory = {}
+        tree.build_initial([], memory)
+        report = tree.validate_image(memory)
+        assert report.ok
+        assert report.live_keys == set()
+
+    def test_inf0_leaf_always_present(self):
+        """The INF0 sentinel leaf stays after draining all real keys —
+        the guard that keeps S from ever being spliced out."""
+        tree = _tree()
+        script = [("delete", k) for k in (1, 2, 3)]
+        results, machine = _drive(tree, script, initial=(1, 2, 3))
+        assert results == [True, True, True]
+        memory = machine.trace.memory_snapshot()
+        s_left = memory[field(tree.S, LEFT)]
+        assert addr_of(memory[field(tree.R, LEFT)]) == tree.S
+        # The remaining subtree must contain the INF0 leaf.
+        report = tree.validate_image(memory)
+        assert report.ok
+        assert report.live_keys == set()
+
+    def test_refill_after_drain(self):
+        tree = _tree()
+        script = ([("delete", k) for k in (1, 2)]
+                  + [("insert", k) for k in (5, 1)]
+                  + [("contains", 5), ("contains", 1), ("contains", 2)])
+        results, machine = _drive(tree, script, initial=(1, 2))
+        assert results == [True, True, True, True, True, True, False]
+        assert tree.collect_keys(
+            machine.trace.memory_snapshot()) == {1, 5}
+
+
+class TestExternalShape:
+    def test_internal_nodes_have_two_children(self):
+        tree = _tree()
+        _, machine = _drive(tree, [("insert", k) for k in range(10)])
+        report = tree.validate_image(machine.trace.memory_snapshot())
+        assert report.ok
+        # 10 real leaves + 3 sentinel leaves + INF0 leaf and internals.
+        assert report.live_keys == set(range(10))
+
+    def test_flagged_leaf_not_live(self):
+        tree = _tree()
+        memory = {}
+        tree.build_initial([4], memory)
+        # Manually flag the edge to leaf 4 (an injected delete).
+        def find_leaf_edge(node_raw, key):
+            node = addr_of(node_raw)
+            left = memory[field(node, LEFT)]
+            if addr_of(left) == 0:
+                return None
+            node_key = memory[field(node, KEY)]
+            side = LEFT if key < node_key else RIGHT
+            child_raw = memory[field(node, side)]
+            child = addr_of(child_raw)
+            if addr_of(memory[field(child, LEFT)]) == 0:
+                return field(node, side)
+            return find_leaf_edge(child_raw, key)
+
+        edge = find_leaf_edge(memory[field(tree.R, LEFT)], 4)
+        memory[edge] |= FLAG
+        report = tree.validate_image(memory)
+        assert report.ok            # a flagged edge is a completed delete
+        assert 4 not in report.live_keys
+
+    def test_dangling_edge_detected(self):
+        tree = _tree()
+        memory = {}
+        tree.build_initial([4, 9], memory)
+        memory[field(tree.S, LEFT)] = 0x9900000
+        report = tree.validate_image(memory)
+        assert not report.ok
+        assert "never persisted" in report.problems[0]
+
+    def test_one_child_internal_detected(self):
+        tree = _tree()
+        memory = {}
+        tree.build_initial([4, 9], memory)
+        internal = addr_of(memory[field(tree.S, LEFT)])
+        memory[field(internal, LEFT)] = 0
+        assert not tree.validate_image(memory).ok
+
+
+class TestSequentialSemantics:
+    @given(st.lists(st.tuples(
+        st.sampled_from(["insert", "delete", "contains"]),
+        st.integers(0, 9)), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_oracle(self, script):
+        tree = _tree()
+        results, _ = _drive(tree, script, initial=(2, 7))
+        present = {2, 7}
+        expected = []
+        for op, key in script:
+            if op == "insert":
+                expected.append(key not in present)
+                present.add(key)
+            elif op == "delete":
+                expected.append(key in present)
+                present.discard(key)
+            else:
+                expected.append(key in present)
+        assert results == expected
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_high_contention_final_state(self, seed):
+        spec = WorkloadSpec(structure="bstree", num_threads=8,
+                            initial_size=4, ops_per_thread=30,
+                            key_range=8, seed=seed)
+        result = simulate(spec, mechanism="nop", config=CFG)
+        result.verify_final_state()
+
+    def test_lrp_crash_recovery(self):
+        from repro.core.recovery import exhaustive_crash_test
+
+        spec = WorkloadSpec(structure="bstree", num_threads=6,
+                            initial_size=64, ops_per_thread=20, seed=2)
+        result = simulate(spec, mechanism="lrp", config=CFG)
+        campaign = exhaustive_crash_test(result)
+        assert campaign.all_recovered
+
+    def test_write_intensity_exceeds_tombstone_tree(self):
+        """The NM tree allocates/frees nodes per update, so it issues
+        markedly more persists than the tombstone variant — the
+        property behind the paper's large BST gains."""
+        nm_spec = WorkloadSpec(structure="bstree", num_threads=8,
+                               initial_size=256, ops_per_thread=24,
+                               seed=1)
+        tomb_spec = WorkloadSpec(structure="bstree_tomb", num_threads=8,
+                                 initial_size=256, ops_per_thread=24,
+                                 seed=1)
+        nm = simulate(nm_spec, mechanism="bb", config=CFG)
+        tomb = simulate(tomb_spec, mechanism="bb", config=CFG)
+        assert nm.stats.total_persists > tomb.stats.total_persists

@@ -1,0 +1,70 @@
+"""Tests for post-crash recover-and-continue (operational null recovery)."""
+
+import pytest
+
+from repro.common.params import MachineConfig
+from repro.core.replay import (
+    RecoveryReplayError,
+    continuation_sweep,
+    recover_and_continue,
+)
+from repro.core.simulator import simulate
+from repro.lfds import WORKLOAD_NAMES
+from repro.workloads.harness import WorkloadSpec
+
+CFG = MachineConfig(num_cores=8, l1_size_bytes=8 * 1024)
+
+
+def _crashed_run(workload, mechanism="lrp", seed=3):
+    spec = WorkloadSpec(structure=workload, num_threads=6,
+                        initial_size=96, ops_per_thread=16, seed=seed)
+    return simulate(spec, mechanism=mechanism, config=CFG)
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+class TestRecoverAndContinue:
+    def test_continue_from_full_log(self, workload):
+        result = _crashed_run(workload)
+        log_len = len(result.nvm.persist_log())
+        cont = recover_and_continue(result, log_len, config=CFG)
+        assert cont.ok
+        assert cont.results  # new operations actually ran
+
+    def test_continue_from_mid_crash(self, workload):
+        result = _crashed_run(workload)
+        log_len = len(result.nvm.persist_log())
+        cont = recover_and_continue(result, log_len // 2, config=CFG)
+        assert cont.ok
+
+    def test_continue_from_zero_prefix(self, workload):
+        """Crash before anything persisted: recover the initial build."""
+        result = _crashed_run(workload)
+        cont = recover_and_continue(result, 0, config=CFG)
+        assert cont.ok
+
+
+class TestSweep:
+    def test_sweep_hashmap(self):
+        result = _crashed_run("hashmap")
+        outcomes = continuation_sweep(result, num_points=5, config=CFG)
+        assert len(outcomes) >= 2
+        assert all(o.ok for o in outcomes)
+
+    def test_unrecoverable_image_rejected(self):
+        """Continuation must refuse a non-consistent crash image."""
+        result = _crashed_run("hashmap", mechanism="nop")
+        from repro.core.recovery import exhaustive_crash_test
+
+        campaign = exhaustive_crash_test(result)
+        if not campaign.failures:
+            pytest.skip("this NOP run happened to stay consistent")
+        bad_prefix = campaign.failures[0].prefix_len
+        with pytest.raises(RecoveryReplayError):
+            recover_and_continue(result, bad_prefix, config=CFG)
+
+    def test_recovered_keys_subset_of_touched(self):
+        result = _crashed_run("skiplist")
+        log_len = len(result.nvm.persist_log())
+        cont = recover_and_continue(result, log_len // 3, config=CFG)
+        key_range = result.spec.effective_key_range
+        assert all(0 <= k < key_range for k in cont.recovered_keys)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.common.stats."""
+
+from repro.common.stats import CoreStats, RunStats, merge_core_stats
+
+
+def _core(core_id=0, **kwargs):
+    stats = CoreStats(core_id=core_id)
+    for key, value in kwargs.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestCoreStats:
+    def test_defaults_zero(self):
+        stats = CoreStats()
+        assert stats.reads == 0
+        assert stats.writebacks_total == 0
+        assert stats.cycles == 0
+
+    def test_critical_fraction_empty(self):
+        assert CoreStats().critical_writeback_fraction == 0.0
+
+    def test_critical_fraction(self):
+        stats = _core(writebacks_total=10, writebacks_critical=4)
+        assert stats.critical_writeback_fraction == 0.4
+
+
+class TestRunStats:
+    def _run(self, cycles_list, **core_kwargs):
+        cores = [_core(i, cycles=c, **core_kwargs)
+                 for i, c in enumerate(cycles_list)]
+        return RunStats(mechanism="lrp", workload="hashmap",
+                        num_threads=len(cores), per_core=cores)
+
+    def test_execution_cycles_is_max(self):
+        run = self._run([10, 50, 30])
+        assert run.execution_cycles == 50
+
+    def test_execution_cycles_empty(self):
+        run = RunStats("lrp", "hashmap", 0, [])
+        assert run.execution_cycles == 0
+
+    def test_totals_sum(self):
+        run = self._run([1, 2], persists_issued=3, ops_completed=5)
+        assert run.total_persists == 6
+        assert run.total_ops == 10
+
+    def test_critical_fraction_aggregates(self):
+        run = self._run([1, 1], writebacks_total=5,
+                        writebacks_critical=1)
+        assert run.critical_writeback_fraction == 0.2
+
+    def test_critical_fraction_no_writebacks(self):
+        assert self._run([1]).critical_writeback_fraction == 0.0
+
+    def test_overhead_vs(self):
+        fast = self._run([100])
+        slow = self._run([150])
+        assert slow.overhead_vs(fast) == 0.5
+        assert fast.overhead_vs(fast) == 0.0
+
+    def test_overhead_vs_zero_baseline(self):
+        base = RunStats("nop", "hashmap", 0, [])
+        assert self._run([10]).overhead_vs(base) == 0.0
+
+    def test_normalized_to(self):
+        fast = self._run([100])
+        slow = self._run([130])
+        assert abs(slow.normalized_to(fast) - 1.3) < 1e-12
+
+    def test_summary_keys(self):
+        summary = self._run([10]).summary()
+        for key in ("mechanism", "workload", "threads", "cycles", "ops",
+                    "persists", "writebacks", "critical_wb_frac",
+                    "persist_stalls"):
+            assert key in summary
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_maxes_cycles(self):
+        a = _core(0, reads=3, cycles=10, persists_issued=1)
+        b = _core(1, reads=4, cycles=7, persists_issued=2)
+        merged = merge_core_stats([a, b])
+        assert merged.reads == 7
+        assert merged.persists_issued == 3
+        assert merged.cycles == 10
+
+    def test_merge_empty(self):
+        merged = merge_core_stats([])
+        assert merged.reads == 0
+        assert merged.cycles == 0
+
+
+class TestStallBreakdown:
+    def test_breakdown_aggregates_across_cores(self):
+        a = _core(0)
+        a.stall_reasons = {"barrier": 100, "eviction": 5}
+        b = _core(1)
+        b.stall_reasons = {"barrier": 50}
+        run = RunStats("sb", "hashmap", 2, [a, b])
+        assert run.stall_breakdown() == {"barrier": 150, "eviction": 5}
+
+    def test_breakdown_empty(self):
+        run = RunStats("nop", "hashmap", 1, [_core(0)])
+        assert run.stall_breakdown() == {}
+
+    def test_merge_includes_reasons(self):
+        a = _core(0)
+        a.stall_reasons = {"inter-thread": 7}
+        b = _core(1)
+        b.stall_reasons = {"inter-thread": 3, "barrier": 1}
+        merged = merge_core_stats([a, b])
+        assert merged.stall_reasons == {"inter-thread": 10, "barrier": 1}
