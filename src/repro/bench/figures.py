@@ -6,6 +6,13 @@ same rows/series the paper reports. The pytest benchmarks under
 ``benchmarks/`` call these; ``python -m repro.bench.figures`` runs the
 whole evaluation from the command line.
 
+All simulations go through the :mod:`repro.exp` runner: every figure
+row is an independent deterministic job, so the suite fans out across
+CPU cores (``--jobs N``) and re-runs hit the content-addressed result
+cache (disable with ``--no-cache``). Results are identical to serial
+execution by construction; pass ``runner=`` to pin a specific
+:class:`~repro.exp.runner.ExperimentRunner`.
+
 Absolute numbers differ from the paper (our substrate is a behavioral
 Python simulator, not Pin on a testbed); the *shape* — who wins, by
 roughly what factor — is the reproduction target. EXPERIMENTS.md
@@ -21,13 +28,18 @@ from repro.bench.configs import (
     FIGURE8_THREADS,
     FIGURE_MECHANISMS,
     SCALED_CONFIG,
+    bench_config,
     figure_spec,
     uncached,
 )
 from repro.bench.report import render_series, render_table
 from repro.common.params import MachineConfig
-from repro.core.recovery import crash_test
-from repro.core.simulator import SimulationResult, simulate
+from repro.exp.runner import (
+    ExperimentRunner,
+    Job,
+    RunSummary,
+    get_default_runner,
+)
 from repro.lfds import WORKLOAD_NAMES
 from repro.workloads.harness import WorkloadSpec
 
@@ -43,7 +55,7 @@ class NormalizedExecutionResult:
     title: str
     workloads: List[str]
     mechanisms: List[str]
-    results: Dict[str, Dict[str, SimulationResult]]
+    results: Dict[str, Dict[str, RunSummary]]
 
     def normalized(self, workload: str, mechanism: str) -> float:
         nop = self.results[workload]["nop"].makespan
@@ -75,19 +87,24 @@ class NormalizedExecutionResult:
 def run_normalized_execution(config: MachineConfig, title: str, *,
                              scale: str = "quick", num_threads: int = 32,
                              seed: int = 1,
-                             workloads: Optional[Sequence[str]] = None
+                             workloads: Optional[Sequence[str]] = None,
+                             runner: Optional[ExperimentRunner] = None
                              ) -> NormalizedExecutionResult:
     """Shared engine for Figures 5 and 7."""
     workloads = list(workloads or WORKLOAD_NAMES)
     mechanisms = ["nop"] + FIGURE_MECHANISMS
-    results: Dict[str, Dict[str, SimulationResult]] = {}
-    for workload in workloads:
-        spec = figure_spec(workload, num_threads=num_threads,
-                           scale=scale, seed=seed)
-        results[workload] = {
-            mech: simulate(spec, mechanism=mech, config=config)
-            for mech in mechanisms
-        }
+    config = bench_config(config)
+    jobs = [
+        Job(spec=figure_spec(workload, num_threads=num_threads,
+                             scale=scale, seed=seed),
+            mechanism=mech, config=config)
+        for workload in workloads
+        for mech in mechanisms
+    ]
+    summaries = (runner or get_default_runner()).run(jobs, label=title[:8])
+    results: Dict[str, Dict[str, RunSummary]] = {}
+    for job, summary in zip(jobs, summaries):
+        results.setdefault(job.spec.structure, {})[job.mechanism] = summary
     return NormalizedExecutionResult(
         title=title, workloads=workloads,
         mechanisms=FIGURE_MECHANISMS, results=results)
@@ -95,7 +112,8 @@ def run_normalized_execution(config: MachineConfig, title: str, *,
 
 def run_figure5(*, scale: str = "quick", num_threads: int = 32,
                 seed: int = 1,
-                workloads: Optional[Sequence[str]] = None
+                workloads: Optional[Sequence[str]] = None,
+                runner: Optional[ExperimentRunner] = None
                 ) -> NormalizedExecutionResult:
     """Figure 5: exec time normalized to NOP, cached NVM mode."""
     return run_normalized_execution(
@@ -103,12 +121,13 @@ def run_figure5(*, scale: str = "quick", num_threads: int = 32,
         "Figure 5: execution time normalized to No-Persistency "
         "(cached mode, lower is better)",
         scale=scale, num_threads=num_threads, seed=seed,
-        workloads=workloads)
+        workloads=workloads, runner=runner)
 
 
 def run_figure7(*, scale: str = "quick", num_threads: int = 32,
                 seed: int = 1,
-                workloads: Optional[Sequence[str]] = None
+                workloads: Optional[Sequence[str]] = None,
+                runner: Optional[ExperimentRunner] = None
                 ) -> NormalizedExecutionResult:
     """Figure 7: same as Figure 5 with the NVM DRAM cache disabled."""
     return run_normalized_execution(
@@ -116,7 +135,7 @@ def run_figure7(*, scale: str = "quick", num_threads: int = 32,
         "Figure 7: execution time normalized to No-Persistency "
         "(uncached mode, lower is better)",
         scale=scale, num_threads=num_threads, seed=seed,
-        workloads=workloads)
+        workloads=workloads, runner=runner)
 
 
 # ----------------------------------------------------------------------
@@ -144,10 +163,11 @@ class Figure6Result:
 
 def run_figure6(fig5: Optional[NormalizedExecutionResult] = None, *,
                 scale: str = "quick", num_threads: int = 32,
-                seed: int = 1) -> Figure6Result:
+                seed: int = 1,
+                runner: Optional[ExperimentRunner] = None) -> Figure6Result:
     """Figure 6 is derived from the Figure 5 runs."""
     fig5 = fig5 or run_figure5(scale=scale, num_threads=num_threads,
-                               seed=seed)
+                               seed=seed, runner=runner)
     fractions = {
         workload: {
             mech: fig5.results[workload][mech]
@@ -185,19 +205,34 @@ def run_figure8(*, scale: str = "quick",
                 thread_counts: Optional[Sequence[int]] = None,
                 workloads: Optional[Sequence[str]] = None,
                 mechanisms: Sequence[str] = ("bb", "lrp"),
-                seed: int = 1) -> Figure8Result:
+                seed: int = 1,
+                runner: Optional[ExperimentRunner] = None) -> Figure8Result:
     """Figure 8(a-e): overhead sweep over 1-32 worker threads."""
     thread_counts = list(thread_counts or FIGURE8_THREADS)
     workloads = list(workloads or WORKLOAD_NAMES)
-    overheads: Dict[str, Dict[str, List[float]]] = {}
+    config = bench_config(SCALED_CONFIG)
+    all_mechs = ["nop"] + list(mechanisms)
+    jobs = [
+        Job(spec=figure_spec(workload, num_threads=threads,
+                             scale=scale, seed=seed),
+            mechanism=mech, config=config)
+        for workload in workloads
+        for threads in thread_counts
+        for mech in all_mechs
+    ]
+    summaries = (runner or get_default_runner()).run(jobs, label="Figure 8")
+    overheads: Dict[str, Dict[str, List[float]]] = {
+        workload: {mech: [] for mech in mechanisms}
+        for workload in workloads
+    }
+    index = 0
     for workload in workloads:
-        overheads[workload] = {mech: [] for mech in mechanisms}
-        for threads in thread_counts:
-            spec = figure_spec(workload, num_threads=threads,
-                               scale=scale, seed=seed)
-            nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
+        for _threads in thread_counts:
+            nop = summaries[index]
+            index += 1
             for mech in mechanisms:
-                run = simulate(spec, mechanism=mech, config=SCALED_CONFIG)
+                run = summaries[index]
+                index += 1
                 overheads[workload][mech].append(
                     run.stats.overhead_vs(nop.stats) * 100.0)
     return Figure8Result(thread_counts=thread_counts, overheads=overheads)
@@ -229,16 +264,29 @@ def run_size_sensitivity(workload: str = "hashmap", *,
                          num_threads: int = 16,
                          ops_per_thread: int = 32,
                          mechanisms: Sequence[str] = ("bb", "lrp"),
-                         seed: int = 1) -> SizeSensitivityResult:
+                         seed: int = 1,
+                         runner: Optional[ExperimentRunner] = None
+                         ) -> SizeSensitivityResult:
     """The paper varied sizes 8K-1M and saw no significant change."""
+    config = bench_config(SCALED_CONFIG)
+    all_mechs = ["nop"] + list(mechanisms)
+    jobs = [
+        Job(spec=WorkloadSpec(structure=workload, num_threads=num_threads,
+                              initial_size=size,
+                              ops_per_thread=ops_per_thread, seed=seed),
+            mechanism=mech, config=config)
+        for size in sizes
+        for mech in all_mechs
+    ]
+    summaries = (runner or get_default_runner()).run(jobs, label="size")
     overheads: Dict[str, List[float]] = {m: [] for m in mechanisms}
-    for size in sizes:
-        spec = WorkloadSpec(structure=workload, num_threads=num_threads,
-                            initial_size=size,
-                            ops_per_thread=ops_per_thread, seed=seed)
-        nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
+    index = 0
+    for _size in sizes:
+        nop = summaries[index]
+        index += 1
         for mech in mechanisms:
-            run = simulate(spec, mechanism=mech, config=SCALED_CONFIG)
+            run = summaries[index]
+            index += 1
             overheads[mech].append(
                 run.stats.overhead_vs(nop.stats) * 100.0)
     return SizeSensitivityResult(workload=workload, sizes=list(sizes),
@@ -273,19 +321,24 @@ class RetAblationResult:
 def run_ret_ablation(workload: str = "hashmap", *,
                      ret_sizes: Sequence[int] = (4, 8, 16, 32, 64),
                      num_threads: int = 16, scale: str = "quick",
-                     seed: int = 1) -> RetAblationResult:
+                     seed: int = 1,
+                     runner: Optional[ExperimentRunner] = None
+                     ) -> RetAblationResult:
     """Sweep the Release Epoch Table size (paper default: 32)."""
     spec = figure_spec(workload, num_threads=num_threads, scale=scale,
                        seed=seed)
-    nop = simulate(spec, mechanism="nop", config=SCALED_CONFIG)
-    normalized, drains = [], []
+    base = bench_config(SCALED_CONFIG)
+    jobs = [Job(spec=spec, mechanism="nop", config=base)]
     for entries in ret_sizes:
         config = dataclasses.replace(
-            SCALED_CONFIG, ret_entries=entries,
+            base, ret_entries=entries,
             ret_watermark=max(1, (entries * 3) // 4))
-        run = simulate(spec, mechanism="lrp", config=config)
-        normalized.append(run.makespan / nop.makespan)
-        drains.append(run.machine.mechanism.stats_ret_watermark_drains)
+        jobs.append(Job(spec=spec, mechanism="lrp", config=config))
+    summaries = (runner or get_default_runner()).run(jobs, label="RET")
+    nop, lrp_runs = summaries[0], summaries[1:]
+    normalized = [run.makespan / nop.makespan for run in lrp_runs]
+    drains = [run.mechanism_counters["ret_watermark_drains"]
+              for run in lrp_runs]
     return RetAblationResult(workload=workload,
                              ret_sizes=list(ret_sizes),
                              normalized=normalized,
@@ -329,25 +382,41 @@ def run_recovery_matrix(*, workloads: Optional[Sequence[str]] = None,
                             "lrp"),
                         num_threads: int = 8, initial_size: int = 256,
                         ops_per_thread: int = 24, seeds: Sequence[int] = (0, 1),
-                        crash_points: int = 40) -> RecoveryMatrixResult:
-    """Crash every mechanism on every LFD at many persist-log points."""
+                        crash_points: int = 40,
+                        runner: Optional[ExperimentRunner] = None
+                        ) -> RecoveryMatrixResult:
+    """Crash every mechanism on every LFD at many persist-log points.
+
+    Each (workload, mechanism, seed) cell is one runner job; the crash
+    campaign itself runs inside the worker (only its counts travel
+    back), so the matrix parallelizes like every other figure.
+    """
     workloads = list(workloads or WORKLOAD_NAMES)
+    config = bench_config(SCALED_CONFIG)
+    jobs = [
+        Job(spec=WorkloadSpec(structure=workload,
+                              num_threads=num_threads,
+                              initial_size=initial_size,
+                              ops_per_thread=ops_per_thread,
+                              seed=seed),
+            mechanism=mech, config=config,
+            crash_points=crash_points, crash_seed=seed)
+        for workload in workloads
+        for mech in mechanisms
+        for seed in seeds
+    ]
+    summaries = (runner or get_default_runner()).run(jobs, label="recovery")
     rows: List[Dict[str, object]] = []
+    index = 0
     for workload in workloads:
         for mech in mechanisms:
             attempts = 0
             failures = 0
-            for seed in seeds:
-                spec = WorkloadSpec(structure=workload,
-                                    num_threads=num_threads,
-                                    initial_size=initial_size,
-                                    ops_per_thread=ops_per_thread,
-                                    seed=seed)
-                run = simulate(spec, mechanism=mech, config=SCALED_CONFIG)
-                campaign = crash_test(run, num_points=crash_points,
-                                      seed=seed)
-                attempts += campaign.attempts
-                failures += len(campaign.failures)
+            for _seed in seeds:
+                summary = summaries[index]
+                index += 1
+                attempts += summary.crash_attempts or 0
+                failures += summary.crash_failures or 0
             rows.append({
                 "workload": workload,
                 "mechanism": mech,
@@ -363,18 +432,36 @@ def run_recovery_matrix(*, workloads: Optional[Sequence[str]] = None,
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     import argparse
+    import os
+
+    from repro.exp.runner import make_runner, set_default_runner
 
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's evaluation figures.")
     parser.add_argument("--scale", choices=("quick", "full"),
                         default="quick")
     parser.add_argument("--figures", nargs="*", default=None,
+                        choices=("fig5", "fig6", "fig7", "fig8", "size",
+                                 "ret", "recovery"),
                         help="subset, e.g. fig5 fig6 fig7 fig8 size "
                              "ret recovery")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the simulations "
+                             "(default: all CPU cores; 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk "
+                             "result cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the progress meter on stderr")
     args = parser.parse_args(argv)
     wanted = set(args.figures or
                  ["fig5", "fig6", "fig7", "fig8", "size", "ret",
                   "recovery"])
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    runner = make_runner(jobs=jobs, use_cache=not args.no_cache,
+                         verbose=not args.quiet)
+    set_default_runner(runner)
 
     fig5 = None
     if wanted & {"fig5", "fig6"}:

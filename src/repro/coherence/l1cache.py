@@ -32,12 +32,21 @@ class MESIState(enum.Enum):
     INVALID = "I"
 
 
-@dataclasses.dataclass
+# Hot-path aliases: member access on the Enum class goes through
+# EnumType.__getattr__; the simulator resolves states millions of times
+# per run, so the inner loops bind these once.
+MODIFIED = MESIState.MODIFIED
+EXCLUSIVE = MESIState.EXCLUSIVE
+SHARED = MESIState.SHARED
+INVALID = MESIState.INVALID
+
+
+@dataclasses.dataclass(slots=True)
 class CacheLine:
     """One L1 cache line (tag + coherence + persistency metadata)."""
 
     addr: int                      # line-aligned base address
-    state: MESIState = MESIState.INVALID
+    state: MESIState = INVALID
     # Persistency metadata -------------------------------------------------
     pending_words: Dict[int, Tuple[Word, int]] = dataclasses.field(
         default_factory=dict)      # word addr -> (value, store event id)
@@ -54,24 +63,24 @@ class CacheLine:
     @property
     def is_released(self) -> bool:
         """Line is dirty and its newest synchronizing write is a release."""
-        return self.has_pending and self.release_bit
+        return bool(self.pending_words) and self.release_bit
 
     @property
     def is_only_written(self) -> bool:
         """Line is dirty with regular writes only (paper terminology)."""
-        return self.has_pending and not self.release_bit
+        return bool(self.pending_words) and not self.release_bit
 
     def record_write(self, word_addr: int, value: Word, event_id: int,
                      epoch: int) -> None:
         """Merge a store into the line's pending (unpersisted) words."""
-        if not self.has_pending:
+        if not self.pending_words:
             self.min_epoch = epoch
         self.pending_words[word_addr] = (value, event_id)
 
     def take_persist_payload(self) -> Dict[int, Tuple[Word, int]]:
         """Snapshot-and-clear the pending words (line persists now)."""
-        payload = dict(self.pending_words)
-        self.pending_words.clear()
+        payload = self.pending_words
+        self.pending_words = {}
         self.min_epoch = None
         self.release_bit = False
         return payload
@@ -89,9 +98,17 @@ class L1Cache:
             {} for _ in range(self._num_sets)
         ]
         self._tick = 0
+        # line_bytes is a power of two (validated by MachineConfig);
+        # when the set count is too, the set index is shift-and-mask.
+        self._line_shift = config.line_offset_bits
+        num_sets = self._num_sets
+        self._set_mask = (num_sets - 1
+                          if num_sets & (num_sets - 1) == 0 else None)
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self._config.line_bytes) % self._num_sets
+        if self._set_mask is not None:
+            return (line_addr >> self._line_shift) & self._set_mask
+        return (line_addr >> self._line_shift) % self._num_sets
 
     def _touch(self, line: CacheLine) -> None:
         self._tick += 1
@@ -106,7 +123,8 @@ class L1Cache:
         """Return the resident line, or None on a miss."""
         line = self._sets[self._set_index(line_addr)].get(line_addr)
         if line is not None and touch:
-            self._touch(line)
+            self._tick += 1
+            line.lru_tick = self._tick
         return line
 
     def select_victim(self, line_addr: int) -> Optional[CacheLine]:

@@ -88,6 +88,13 @@ class MachineConfig:
     # in for the ALU/branch instructions of the real workloads.
     compute_cycles_per_op: int = 1
 
+    # Whether the machine keeps the full per-event execution trace.
+    # Figure runs only need aggregate statistics and the persist log;
+    # the consistency checker, happens-before construction and replay
+    # need the event list and must leave this on. Disabling it never
+    # changes timing: makespans are bit-identical either way.
+    record_trace: bool = True
+
     def __post_init__(self) -> None:
         if self.line_bytes & (self.line_bytes - 1):
             raise ValueError("line_bytes must be a power of two")

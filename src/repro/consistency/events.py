@@ -9,13 +9,20 @@ paper's use of a TSO host simulator, Section 6.3).
 Events carry C++11-style ordering annotations (:class:`MemOrder`); the
 happens-before construction of :mod:`repro.consistency.happens_before`
 and the persistency mechanisms both key off these annotations.
+
+Keeping the full event list is optional (``Trace(record=False)``,
+driven by ``MachineConfig.record_trace``): figure runs only need the
+aggregate statistics and the NVM persist log, so they skip the
+per-event storage. Event ids, architectural memory, reads-from edges
+and synchronizes-with metadata are maintained identically either way —
+only the retained ``events`` list differs.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 Word = Optional[int]
 
@@ -43,13 +50,18 @@ class EventKind(enum.Enum):
     RMW = "rmw"  # compare-and-swap / fetch-op (read + conditional write)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MemoryEvent:
     """One executed memory operation.
 
     ``event_id`` is the position in the global execution order.
     For an RMW, ``success`` records whether the write part performed
     (a failed CAS degenerates to an acquire/plain read).
+
+    ``source_thread``/``source_release`` describe the write this event
+    reads from (thread that performed it, and whether it was a
+    release), captured at record time so synchronizes-with edges can be
+    resolved without the retained event list.
     """
 
     event_id: int
@@ -61,6 +73,8 @@ class MemoryEvent:
     read_value: Word = None     # value observed (READ / RMW)
     reads_from: Optional[int] = None  # event_id of the write observed
     success: bool = True        # False only for a failed RMW
+    source_thread: Optional[int] = None  # thread of the write observed
+    source_release: bool = False         # that write was a release
 
     @property
     def is_write_effect(self) -> bool:
@@ -89,21 +103,37 @@ class Trace:
     """Recorder for the global execution order of memory events.
 
     Maintains the architectural memory (word -> value) and the
-    last-writer map used to derive reads-from edges.
+    last-writer map used to derive reads-from edges. With
+    ``record=False`` the per-event list is not retained (event ids and
+    architectural state still advance identically).
     """
 
-    def __init__(self) -> None:
-        self.events: List[MemoryEvent] = []
+    def __init__(self, record: bool = True) -> None:
+        self.record = record
+        self._events: List[MemoryEvent] = []
+        self._count = 0
         self._memory: Dict[int, Word] = {}
         self._last_writer: Dict[int, int] = {}
+        # word addr -> (writer thread, writer was a release); mirrors
+        # _last_writer so sync sources resolve without the event list.
+        self._writer_meta: Dict[int, Tuple[int, bool]] = {}
         self._initial: Dict[int, Word] = {}
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._count
+
+    @property
+    def events(self) -> List[MemoryEvent]:
+        """The retained event list (requires ``record=True``)."""
+        if not self.record and self._count:
+            raise RuntimeError(
+                "trace recording is disabled (MachineConfig.record_trace"
+                "=False): the event list was not retained")
+        return self._events
 
     def initialize(self, values: Dict[int, Word]) -> None:
         """Install initial memory values (no events are recorded)."""
-        if self.events:
+        if self._count:
             raise ValueError("initialize before recording events")
         self._memory.update(values)
         self._initial.update(values)
@@ -115,35 +145,43 @@ class Trace:
     # Recording
     # ------------------------------------------------------------------
 
+    def _append(self, event: MemoryEvent) -> MemoryEvent:
+        self._count += 1
+        if self.record:
+            self._events.append(event)
+        return event
+
     def record_read(self, thread_id: int, addr: int,
                     order: MemOrder = MemOrder.PLAIN) -> MemoryEvent:
         """Record a load; returns the event (with the observed value)."""
-        event = MemoryEvent(
-            event_id=len(self.events),
+        source = self._writer_meta.get(addr)
+        return self._append(MemoryEvent(
+            event_id=self._count,
             thread_id=thread_id,
             kind=EventKind.READ,
             order=order,
             addr=addr,
             read_value=self._memory.get(addr),
             reads_from=self._last_writer.get(addr),
-        )
-        self.events.append(event)
-        return event
+            source_thread=source[0] if source else None,
+            source_release=source[1] if source else False,
+        ))
 
     def record_write(self, thread_id: int, addr: int, value: Word,
                      order: MemOrder = MemOrder.PLAIN) -> MemoryEvent:
         """Record a store of ``value``."""
         event = MemoryEvent(
-            event_id=len(self.events),
+            event_id=self._count,
             thread_id=thread_id,
             kind=EventKind.WRITE,
             order=order,
             addr=addr,
             value=value,
         )
-        self.events.append(event)
+        self._append(event)
         self._memory[addr] = value
         self._last_writer[addr] = event.event_id
+        self._writer_meta[addr] = (thread_id, order.has_release)
         return event
 
     def record_rmw(self, thread_id: int, addr: int, expected: Word,
@@ -152,8 +190,9 @@ class Trace:
         """Record a compare-and-swap; the write performs iff it matches."""
         observed = self._memory.get(addr)
         success = observed == expected
+        source = self._writer_meta.get(addr)
         event = MemoryEvent(
-            event_id=len(self.events),
+            event_id=self._count,
             thread_id=thread_id,
             kind=EventKind.RMW,
             order=order,
@@ -162,11 +201,14 @@ class Trace:
             read_value=observed,
             reads_from=self._last_writer.get(addr),
             success=success,
+            source_thread=source[0] if source else None,
+            source_release=source[1] if source else False,
         )
-        self.events.append(event)
+        self._append(event)
         if success:
             self._memory[addr] = new_value
             self._last_writer[addr] = event.event_id
+            self._writer_meta[addr] = (thread_id, order.has_release)
         return event
 
     def record_unconditional_rmw(self, thread_id: int, addr: int,
@@ -175,8 +217,9 @@ class Trace:
                                  ) -> MemoryEvent:
         """Record an atomic exchange (always-successful RMW)."""
         observed = self._memory.get(addr)
+        source = self._writer_meta.get(addr)
         event = MemoryEvent(
-            event_id=len(self.events),
+            event_id=self._count,
             thread_id=thread_id,
             kind=EventKind.RMW,
             order=order,
@@ -185,10 +228,13 @@ class Trace:
             read_value=observed,
             reads_from=self._last_writer.get(addr),
             success=True,
+            source_thread=source[0] if source else None,
+            source_release=source[1] if source else False,
         )
-        self.events.append(event)
+        self._append(event)
         self._memory[addr] = new_value
         self._last_writer[addr] = event.event_id
+        self._writer_meta[addr] = (thread_id, order.has_release)
         return event
 
     # ------------------------------------------------------------------

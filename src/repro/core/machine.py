@@ -29,6 +29,12 @@ from repro.persistency import PersistencyMechanism, mechanism_by_name
 
 Word = Optional[int]
 
+# Hot-path aliases (enum member access is a metaclass lookup).
+_WORK = OpKind.WORK
+_READ = OpKind.READ
+_WRITE = OpKind.WRITE
+_CAS = OpKind.CAS
+
 
 class Machine:
     """One simulated multicore with a pluggable persistency mechanism."""
@@ -39,7 +45,7 @@ class Machine:
         self.config = config
         self.fabric = CoherenceFabric(config)
         self.nvm = NVMController(config)
-        self.trace = Trace()
+        self.trace = Trace(record=config.record_trace)
         self.stats = [CoreStats(core_id=i) for i in range(config.num_cores)]
         if isinstance(mechanism, str):
             mechanism = mechanism_by_name(mechanism)
@@ -58,12 +64,13 @@ class Machine:
         ``(success, old)`` for a CAS, the old value for an XCHG, or
         None for stores/work.
         """
-        if op.kind is OpKind.WORK:
+        kind = op.kind
+        if kind is _WORK:
             return None, op.cycles
 
         stats = self.stats[core]
         line_addr = line_address(op.addr, self.config.line_bytes)
-        exclusive = op.kind is not OpKind.READ
+        exclusive = kind is not _READ
         access = self.fabric.access(core, line_addr, exclusive=exclusive,
                                     now=now)
         latency = access.latency
@@ -100,9 +107,9 @@ class Machine:
         stats.invalidations_received += access.invalidated_sharers
 
         # The operation itself.
-        if op.kind is OpKind.READ:
+        if kind is _READ:
             result, latency = self._do_read(core, op, now, latency)
-        elif op.kind is OpKind.WRITE:
+        elif kind is _WRITE:
             result, latency = self._do_write(core, op, access.line, now,
                                              latency)
         else:
@@ -140,7 +147,7 @@ class Machine:
                 latency: int) -> Tuple[object, int]:
         stats = self.stats[core]
         stats.rmws += 1
-        if op.kind is OpKind.CAS:
+        if op.kind is _CAS:
             event = self.trace.record_rmw(core, op.addr, op.expected,
                                           op.value, op.order)
             result: object = (event.success, event.read_value)
@@ -162,11 +169,8 @@ class Machine:
 
     def _sync_source(self, event: MemoryEvent) -> Optional[int]:
         """Core whose release this acquire reads from, if any."""
-        if event.reads_from is None:
-            return None
-        source = self.trace.events[event.reads_from]
-        if source.is_release and source.thread_id != event.thread_id:
-            return source.thread_id
+        if event.source_release and event.source_thread != event.thread_id:
+            return event.source_thread
         return None
 
     # ------------------------------------------------------------------
@@ -182,7 +186,7 @@ class Machine:
         structure size refers to the initial number of nodes ... before
         statistics are collected").
         """
-        if self.trace.events:
+        if len(self.trace):
             raise ValueError("install initial state before executing ops")
         self.trace.initialize(words)
         self.nvm.set_baseline_image(words)
@@ -194,7 +198,7 @@ class Machine:
         self.nvm.set_baseline_image(self.trace.memory_snapshot(),
                                     self.trace.last_writer_snapshot())
         self.nvm.reset_log()  # measured phase starts a fresh log
-        self.boundary_event = len(self.trace.events)
+        self.boundary_event = len(self.trace)
 
     def finish(self, now: int) -> int:
         """End of run: drain everything so all writes become durable."""

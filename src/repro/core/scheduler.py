@@ -24,6 +24,9 @@ WorkerFactory = Callable[[int], WorkerGen]
 class SimThread:
     """One hardware thread driving a workload coroutine."""
 
+    __slots__ = ("thread_id", "gen", "clock", "done", "_pending_result",
+                 "_started")
+
     def __init__(self, thread_id: int, gen: WorkerGen) -> None:
         self.thread_id = thread_id
         self.gen = gen
@@ -67,26 +70,29 @@ class Scheduler:
     def run(self) -> int:
         """Execute until every thread finishes; returns the makespan."""
         compute = self.machine.config.compute_cycles_per_op
+        execute = self.machine.execute
+        stats = self.machine.stats
+        heappop, heappush = heapq.heappop, heapq.heappush
         heap = [(t.clock, t.thread_id) for t in self.threads]
         heapq.heapify(heap)
         while heap:
-            _, tid = heapq.heappop(heap)
+            _, tid = heappop(heap)
             thread = self.threads[tid]
             if thread.done:
                 continue
             op = thread.next_op()
             if op is None:
-                self.machine.stats[tid].cycles = thread.clock
+                stats[tid].cycles = thread.clock
                 continue
-            result, latency = self.machine.execute(tid, op, thread.clock)
-            thread.deliver(result)
-            thread.clock += latency + compute
-            self._executed_ops += 1
-            if self.max_ops is not None and self._executed_ops > self.max_ops:
+            if self.max_ops is not None and self._executed_ops >= self.max_ops:
                 raise RuntimeError(
                     f"scheduler exceeded max_ops={self.max_ops} — "
                     "possible livelock in a workload")
-            heapq.heappush(heap, (thread.clock, tid))
+            result, latency = execute(tid, op, thread.clock)
+            thread.deliver(result)
+            thread.clock += latency + compute
+            self._executed_ops += 1
+            heappush(heap, (thread.clock, tid))
         return self.makespan()
 
     def makespan(self) -> int:

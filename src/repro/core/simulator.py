@@ -9,7 +9,7 @@ need (statistics, trace, NVM persist log, the structure itself).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.common.params import DEFAULT_CONFIG, MachineConfig
 from repro.common.stats import RunStats
@@ -105,7 +105,7 @@ def simulate(spec: WorkloadSpec,
 
 def simulate_all_mechanisms(
         spec: WorkloadSpec,
-        mechanisms: List[str] = ("nop", "sb", "bb", "lrp"),
+        mechanisms: Sequence[str] = ("nop", "sb", "bb", "lrp"),
         config: Optional[MachineConfig] = None
 ) -> Dict[str, SimulationResult]:
     """Run the same spec under several mechanisms (Figure 5/7 rows)."""

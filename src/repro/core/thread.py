@@ -38,7 +38,7 @@ class OpKind(enum.Enum):
     WORK = "work"       # pure compute: consumes cycles, touches nothing
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Op:
     """One operation yielded by workload code to the scheduler."""
 

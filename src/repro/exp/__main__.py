@@ -1,0 +1,162 @@
+"""``python -m repro.exp`` — runner self-test and benchmark emitter.
+
+``--selftest`` runs a reduced figure-5-style suite three ways and
+writes ``BENCH_runner.json``:
+
+1. serially in-process (the pre-runner execution model),
+2. through a process pool (``--jobs N``, default: all cores),
+3. twice against a fresh result cache (cold, then warm).
+
+It asserts that the parallel summaries are bit-identical to the serial
+ones (makespans, stats and persist-log digests) and that the warm
+cache pass is all hits — then records the wall-clock of each mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.configs import SCALED_CONFIG, bench_config
+from repro.exp.cache import ResultCache
+from repro.exp.progress import ProgressReporter
+from repro.exp.runner import ExperimentRunner, Job, RunSummary
+from repro.workloads.harness import WorkloadSpec
+
+#: Reduced-size suite: every LFD x every Figure 5 mechanism, small
+#: enough that the self-test finishes in seconds even single-core.
+SELFTEST_WORKLOADS = ("linkedlist", "hashmap", "bstree", "skiplist",
+                      "queue")
+SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+
+def selftest_jobs() -> List[Job]:
+    config = bench_config(SCALED_CONFIG)
+    return [
+        Job(spec=WorkloadSpec(structure=workload, num_threads=8,
+                              initial_size=512, ops_per_thread=16,
+                              seed=1),
+            mechanism=mech, config=config)
+        for workload in SELFTEST_WORKLOADS
+        for mech in SELFTEST_MECHANISMS
+    ]
+
+
+def _fingerprint(summaries: Sequence[RunSummary]) -> List[dict]:
+    return [
+        {
+            "workload": s.spec.structure,
+            "mechanism": s.mechanism,
+            "makespan": s.makespan,
+            "persists": s.persist_count,
+            "log_digest": s.persist_log_digest,
+            "stats": s.stats.summary(),
+        }
+        for s in summaries
+    ]
+
+
+def _timed_run(runner: ExperimentRunner, jobs: Sequence[Job],
+               label: str) -> tuple:
+    start = time.perf_counter()
+    summaries = runner.run(jobs, label=label)
+    return summaries, time.perf_counter() - start
+
+
+def run_selftest(workers: int, output: str, verbose: bool = True) -> dict:
+    jobs = selftest_jobs()
+    progress = ProgressReporter() if verbose else None
+
+    serial = ExperimentRunner(jobs=1, progress=progress)
+    serial_summaries, serial_seconds = _timed_run(serial, jobs, "serial")
+
+    parallel = ExperimentRunner(jobs=workers, progress=progress)
+    parallel_summaries, parallel_seconds = _timed_run(parallel, jobs,
+                                                      f"x{workers}")
+
+    identical = (_fingerprint(serial_summaries)
+                 == _fingerprint(parallel_summaries))
+
+    with tempfile.TemporaryDirectory(prefix="repro-exp-cache-") as tmp:
+        cache = ResultCache(tmp)
+        cold = ExperimentRunner(jobs=workers, cache=cache,
+                                progress=progress)
+        cold_summaries, cold_seconds = _timed_run(cold, jobs, "cold")
+        warm = ExperimentRunner(jobs=workers, cache=cache,
+                                progress=progress)
+        warm_summaries, warm_seconds = _timed_run(warm, jobs, "warm")
+        hit_rate = warm.cache_hits / max(1, warm.cache_hits
+                                         + warm.cache_misses)
+        cache_identical = (_fingerprint(cold_summaries)
+                           == _fingerprint(warm_summaries)
+                           == _fingerprint(serial_summaries))
+
+    report = {
+        "suite": {
+            "jobs": len(jobs),
+            "workloads": list(SELFTEST_WORKLOADS),
+            "mechanisms": list(SELFTEST_MECHANISMS),
+            "spec": dataclasses.asdict(jobs[0].spec),
+        },
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup_parallel_over_serial": round(
+            serial_seconds / parallel_seconds, 3)
+        if parallel_seconds else None,
+        "identical_results": identical,
+        "cache": {
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "hit_rate": round(hit_rate, 3),
+            "speedup_warm_over_cold": round(cold_seconds / warm_seconds, 3)
+            if warm_seconds else None,
+            "identical_results": cache_identical,
+        },
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Parallel experiment-runner utilities.")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the serial-vs-parallel-vs-cached "
+                             "equivalence and timing suite")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPU cores)")
+    parser.add_argument("--output", default="BENCH_runner.json",
+                        help="where to write the benchmark JSON "
+                             "(default: %(default)s)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the progress meter")
+    args = parser.parse_args(argv)
+
+    if not args.selftest:
+        parser.print_help()
+        return 2
+
+    workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    report = run_selftest(workers, args.output, verbose=not args.quiet)
+    ok = (report["identical_results"]
+          and report["cache"]["identical_results"]
+          and report["cache"]["hit_rate"] == 1.0)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nselftest {'PASSED' if ok else 'FAILED'}: "
+          f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

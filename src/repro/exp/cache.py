@@ -1,0 +1,139 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is keyed by a stable digest of everything that determines
+a simulation's outcome: the :class:`WorkloadSpec`, the
+:class:`MachineConfig`, the mechanism name, any crash-campaign
+parameters, and a *code version* (digest over every ``repro`` source
+file). Simulations are deterministic, so key equality implies result
+equality; editing any simulator source invalidates every entry at once
+(coarse, but never stale).
+
+Keys are built from a canonical JSON rendering of the dataclasses —
+no ``hash()`` involved — so they are stable across processes and
+machines (Python's per-process hash randomization never leaks in).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce dataclasses/enums/collections to JSON-stable primitives."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: _canonical(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value)
+                for key, value in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for "
+                    "a cache key")
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex digest of the canonical JSON form of ``obj``."""
+    text = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest over every ``repro`` source file (cached per process)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(str(path.relative_to(root)).encode("utf-8"))
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _code_version = hasher.hexdigest()
+    return _code_version
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_EXP_CACHE_DIR``, else ``~/.cache/repro-exp``."""
+    env = os.environ.get("REPRO_EXP_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-exp"
+
+
+class ResultCache:
+    """Pickle-per-key store of :class:`~repro.exp.runner.RunSummary`."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        # Two-level fanout keeps directories small under big sweeps.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None (corrupt entries count as misses)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store atomically (concurrent writers never corrupt entries)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))

@@ -1,0 +1,256 @@
+"""Parallel experiment runner.
+
+Every benchmark simulation is an independent, deterministic function of
+``(WorkloadSpec, MachineConfig, mechanism)`` — the evaluation suite is
+embarrassingly parallel. The runner fans :class:`Job` batches out over
+a :class:`concurrent.futures.ProcessPoolExecutor`, returns results in
+the submission order regardless of completion order, and consults a
+content-addressed :class:`~repro.exp.cache.ResultCache` so re-running
+a figure is a cache hit.
+
+Workers return a :class:`RunSummary` — the picklable distillation of a
+:class:`~repro.core.simulator.SimulationResult` (stats, makespan,
+outcome counts, persist-log digest, mechanism counters) — rather than
+the full result, whose machine/structure graphs are both heavy and
+pointless to ship between processes. Jobs that carry ``crash_points``
+additionally run the crash-recovery campaign inside the worker and
+return only its counts.
+
+Determinism: a worker process builds the whole machine from the job's
+spec/config (fresh RNGs seeded from the spec), so parallel execution
+yields bit-identical makespans, stats and persist logs to serial
+execution. ``tests/test_exp_runner.py`` locks this in.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.params import MachineConfig
+from repro.common.stats import RunStats
+from repro.core.simulator import SimulationResult, simulate
+from repro.exp.cache import ResultCache, code_version, stable_digest
+from repro.exp.progress import NullProgress, ProgressReporter
+from repro.workloads.harness import WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One simulation to run (plus an optional crash campaign)."""
+
+    spec: WorkloadSpec
+    mechanism: str
+    config: MachineConfig
+    # When set, the worker also crash-tests the finished run at this
+    # many persist-log prefixes (the recovery-matrix experiment).
+    crash_points: Optional[int] = None
+    crash_seed: int = 0
+
+    def key(self) -> str:
+        """Content-addressed cache key (includes the code version)."""
+        return stable_digest({
+            "job": self,
+            "code": code_version(),
+        })
+
+    def label(self) -> str:
+        return (f"{self.spec.structure}/{self.mechanism}"
+                f"/t{self.spec.num_threads}")
+
+
+@dataclasses.dataclass
+class RunSummary:
+    """The picklable summary of one simulation run.
+
+    Carries everything the figure pipeline reads off a
+    :class:`SimulationResult`; the heavyweight machine state stays in
+    the worker process.
+    """
+
+    spec: WorkloadSpec
+    mechanism: str
+    config: MachineConfig
+    makespan: int
+    stats: RunStats
+    #: ``"<op>:ok" / "<op>:fail"`` -> count, over all workers' outcomes.
+    outcome_counts: Dict[str, int]
+    persist_count: int
+    #: Digest of the ordered persist log — serial/parallel equivalence
+    #: checks compare durability *content*, not just the makespan.
+    persist_log_digest: str
+    #: Mechanism-specific counters (``stats_*`` attributes, e.g. LRP's
+    #: ``ret_watermark_drains`` for the RET ablation).
+    mechanism_counters: Dict[str, int]
+    crash_attempts: Optional[int] = None
+    crash_failures: Optional[int] = None
+
+
+def summarize(result: SimulationResult) -> RunSummary:
+    """Distil a finished simulation into its picklable summary."""
+    outcome_counts: Dict[str, int] = collections.Counter()
+    for worker_results in result.outcomes:
+        for op, _key, outcome in worker_results:
+            ok = outcome is not None and outcome is not False
+            outcome_counts[f"{op}:{'ok' if ok else 'fail'}"] += 1
+
+    hasher = hashlib.sha256()
+    for record in result.nvm.persist_log():
+        hasher.update(repr((record.line_addr, record.words,
+                            record.complete_time)).encode("ascii"))
+
+    mechanism_counters = {
+        name[len("stats_"):]: value
+        for name, value in vars(result.machine.mechanism).items()
+        if name.startswith("stats_") and isinstance(value, int)
+    }
+    return RunSummary(
+        spec=result.spec,
+        mechanism=result.mechanism,
+        config=result.config,
+        makespan=result.makespan,
+        stats=result.stats,
+        outcome_counts=dict(outcome_counts),
+        persist_count=result.nvm.persist_count,
+        persist_log_digest=hasher.hexdigest(),
+        mechanism_counters=mechanism_counters,
+    )
+
+
+def execute_job(job: Job) -> RunSummary:
+    """Run one job to completion (the worker-process entry point)."""
+    result = simulate(job.spec, job.mechanism, job.config)
+    summary = summarize(result)
+    if job.crash_points is not None:
+        from repro.core.recovery import crash_test
+
+        campaign = crash_test(result, num_points=job.crash_points,
+                              seed=job.crash_seed)
+        summary.crash_attempts = campaign.attempts
+        summary.crash_failures = len(campaign.failures)
+    return summary
+
+
+class ExperimentRunner:
+    """Fans jobs out across processes, with optional result caching.
+
+    ``jobs=1`` (the default) runs everything in-process — bit-identical
+    to the pre-runner serial path and free of pool startup cost, which
+    on small batches would dominate. ``jobs=N`` uses a process pool of
+    N workers; results always come back in submission order.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[NullProgress] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress or NullProgress()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def run(self, jobs: Sequence[Job], label: str = "") -> List[RunSummary]:
+        """Execute ``jobs``; results are in the same order as ``jobs``."""
+        jobs = list(jobs)
+        results: List[Optional[RunSummary]] = [None] * len(jobs)
+        self.progress.start(len(jobs), label)
+
+        pending: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                key = job.key()
+                keys[index] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    self.cache_hits += 1
+                    self.progress.job_done(job.label(), cached=True)
+                    continue
+                self.cache_misses += 1
+            pending.append(index)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for index in pending:
+                results[index] = execute_job(jobs[index])
+                self._store(keys.get(index), results[index])
+                self.progress.job_done(jobs[index].label(), cached=False)
+        else:
+            self._run_pool(jobs, pending, keys, results)
+
+        self.progress.finish()
+        assert all(summary is not None for summary in results)
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, jobs: List[Job], pending: List[int],
+                  keys: Dict[int, str],
+                  results: List[Optional[RunSummary]]) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_job, jobs[index]): index
+                for index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    results[index] = future.result()
+                    self._store(keys.get(index), results[index])
+                    self.progress.job_done(jobs[index].label(),
+                                           cached=False)
+
+    def _store(self, key: Optional[str],
+               summary: Optional[RunSummary]) -> None:
+        if self.cache is not None and key is not None and summary is not None:
+            self.cache.put(key, summary)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default runner (configured by the bench CLI / env vars)
+# ----------------------------------------------------------------------
+
+_default_runner: Optional[ExperimentRunner] = None
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` if set, else 1 (serial)."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def get_default_runner() -> ExperimentRunner:
+    """The runner the figure pipeline uses when none is passed in."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner(jobs=default_jobs())
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[ExperimentRunner]) -> None:
+    """Install (or with None, reset) the process-wide default runner."""
+    global _default_runner
+    _default_runner = runner
+
+
+def make_runner(jobs: Optional[int] = None, use_cache: bool = False,
+                verbose: bool = False) -> ExperimentRunner:
+    """Convenience constructor used by the CLIs."""
+    return ExperimentRunner(
+        jobs=jobs if jobs is not None else default_jobs(),
+        cache=ResultCache() if use_cache else None,
+        progress=ProgressReporter() if verbose else None,
+    )

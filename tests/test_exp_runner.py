@@ -1,0 +1,198 @@
+"""Tests for the parallel experiment runner and result cache.
+
+The load-bearing property is determinism: fanning jobs out across
+processes must produce bit-identical summaries (makespans, stats,
+persist-log digests) to serial in-process execution, and cache keys
+must be stable across processes so a cache written by one run is hit
+by the next.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.configs import SCALED_CONFIG, bench_config
+from repro.bench.figures import run_figure5
+from repro.exp.cache import ResultCache, code_version, stable_digest
+from repro.exp.runner import (
+    ExperimentRunner,
+    Job,
+    execute_job,
+    summarize,
+)
+from repro.core.simulator import simulate, simulate_all_mechanisms
+from repro.workloads.harness import WorkloadSpec
+
+CONFIG = bench_config(SCALED_CONFIG)
+
+
+def small_jobs(workloads=("queue", "linkedlist"),
+               mechanisms=("nop", "sb", "bb", "lrp")):
+    """A reduced Figure 5 slice: every mechanism on two LFDs."""
+    return [
+        Job(spec=WorkloadSpec(structure=workload, num_threads=4,
+                              initial_size=64, ops_per_thread=8, seed=3),
+            mechanism=mech, config=CONFIG)
+        for workload in workloads
+        for mech in mechanisms
+    ]
+
+
+def fingerprints(summaries):
+    return [(s.spec.structure, s.mechanism, s.makespan,
+             s.persist_count, s.persist_log_digest, s.stats.summary())
+            for s in summaries]
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_matches_serial(self):
+        """Same jobs, 1 vs 2 worker processes: identical summaries."""
+        jobs = small_jobs()
+        serial = ExperimentRunner(jobs=1).run(jobs)
+        parallel = ExperimentRunner(jobs=2).run(jobs)
+        assert fingerprints(serial) == fingerprints(parallel)
+
+    def test_summary_matches_direct_simulation(self):
+        """A runner summary equals summarizing simulate() directly."""
+        job = small_jobs()[3]
+        via_runner = ExperimentRunner(jobs=1).run([job])[0]
+        direct = summarize(simulate(job.spec, job.mechanism, job.config))
+        assert via_runner.makespan == direct.makespan
+        assert via_runner.persist_log_digest == direct.persist_log_digest
+        assert via_runner.stats.summary() == direct.stats.summary()
+
+    def test_record_trace_off_keeps_makespan(self):
+        """Disabling trace retention never changes timing."""
+        spec = WorkloadSpec(structure="hashmap", num_threads=4,
+                            initial_size=64, ops_per_thread=8, seed=7)
+        with_trace = simulate(
+            spec, "lrp",
+            dataclasses.replace(SCALED_CONFIG, record_trace=True))
+        without = simulate(
+            spec, "lrp",
+            dataclasses.replace(SCALED_CONFIG, record_trace=False))
+        assert with_trace.makespan == without.makespan
+        assert (summarize(with_trace).persist_log_digest
+                == summarize(without).persist_log_digest)
+        assert len(with_trace.trace.events) == len(without.trace)
+        with pytest.raises(RuntimeError):
+            _ = without.trace.events
+
+    def test_results_in_submission_order(self):
+        jobs = small_jobs()
+        results = ExperimentRunner(jobs=2).run(jobs)
+        assert [(r.spec.structure, r.mechanism) for r in results] \
+            == [(j.spec.structure, j.mechanism) for j in jobs]
+
+    def test_figure5_through_explicit_runners(self):
+        """Fig 5 at reduced size: serial and parallel runners agree."""
+        kwargs = dict(scale="quick", num_threads=2, workloads=["queue"])
+        serial = run_figure5(runner=ExperimentRunner(jobs=1), **kwargs)
+        parallel = run_figure5(runner=ExperimentRunner(jobs=2), **kwargs)
+        for mech in serial.mechanisms:
+            assert serial.normalized("queue", mech) \
+                == parallel.normalized("queue", mech)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        jobs = small_jobs(workloads=("queue",))
+        cache = ResultCache(tmp_path)
+        first = ExperimentRunner(jobs=1, cache=cache)
+        cold = first.run(jobs)
+        assert first.cache_hits == 0
+        assert first.cache_misses == len(jobs)
+
+        second = ExperimentRunner(jobs=1, cache=cache)
+        warm = second.run(jobs)
+        assert second.cache_hits == len(jobs)
+        assert second.cache_misses == 0
+        assert fingerprints(cold) == fingerprints(warm)
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = small_jobs(workloads=("queue",), mechanisms=("lrp",))[0]
+        ExperimentRunner(jobs=1, cache=cache).run([job])
+
+        changed = Job(spec=job.spec, mechanism=job.mechanism,
+                      config=dataclasses.replace(job.config,
+                                                 ret_entries=8,
+                                                 ret_watermark=6))
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        runner.run([changed])
+        assert runner.cache_hits == 0
+        assert runner.cache_misses == 1
+
+    def test_spec_and_mechanism_in_key(self):
+        job = small_jobs()[0]
+        other_mech = Job(spec=job.spec, mechanism="lrp", config=job.config)
+        other_spec = Job(spec=dataclasses.replace(job.spec, seed=99),
+                         mechanism=job.mechanism, config=job.config)
+        assert len({job.key(), other_mech.key(), other_spec.key()}) == 3
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = small_jobs(workloads=("queue",), mechanisms=("nop",))[0]
+        cache.put(job.key(), execute_job(job))
+        # Truncate the entry on disk.
+        [path] = list(tmp_path.rglob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(job.key()) is None
+
+    def test_crash_campaign_counts_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job(spec=WorkloadSpec(structure="queue", num_threads=2,
+                                    initial_size=32, ops_per_thread=6,
+                                    seed=0),
+                  mechanism="lrp", config=CONFIG,
+                  crash_points=8, crash_seed=0)
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        [summary] = runner.run([job])
+        assert summary.crash_attempts and summary.crash_attempts > 0
+        assert summary.crash_failures == 0
+        [warm] = ExperimentRunner(jobs=1, cache=cache).run([job])
+        assert warm.crash_attempts == summary.crash_attempts
+
+
+class TestKeyStability:
+    def test_stable_digest_is_not_hash_randomized(self):
+        digest = stable_digest({"b": 2, "a": [1, (2, 3)]})
+        assert digest == stable_digest({"a": [1, [2, 3]], "b": 2})
+
+    def test_key_stable_across_processes(self):
+        """The same Job hashes to the same key in a fresh interpreter
+        (cache entries written by one run are hits for the next)."""
+        job = small_jobs(workloads=("queue",), mechanisms=("lrp",))[0]
+        program = (
+            "import json, sys\n"
+            "from repro.bench.configs import SCALED_CONFIG, bench_config\n"
+            "from repro.exp.runner import Job\n"
+            "from repro.exp.cache import code_version\n"
+            "from repro.workloads.harness import WorkloadSpec\n"
+            "job = Job(spec=WorkloadSpec(structure='queue', num_threads=4,"
+            " initial_size=64, ops_per_thread=8, seed=3),"
+            " mechanism='lrp', config=bench_config(SCALED_CONFIG))\n"
+            "print(json.dumps({'key': job.key(),"
+            " 'code': code_version()}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", program], capture_output=True,
+            text=True, check=True, env=dict(os.environ),
+        ).stdout
+        remote = json.loads(out)
+        assert remote["code"] == code_version()
+        assert remote["key"] == job.key()
+
+
+class TestSatelliteFixes:
+    def test_simulate_all_mechanisms_accepts_any_sequence(self):
+        spec = WorkloadSpec(structure="queue", num_threads=2,
+                            initial_size=16, ops_per_thread=4, seed=0)
+        as_list = simulate_all_mechanisms(spec, ["nop", "lrp"])
+        as_tuple = simulate_all_mechanisms(spec, ("nop", "lrp"))
+        assert set(as_list) == set(as_tuple) == {"nop", "lrp"}
+        assert as_list["lrp"].makespan == as_tuple["lrp"].makespan

@@ -84,6 +84,37 @@ class TestSchedulingOrder:
         with pytest.raises(RuntimeError):
             sched.run()
 
+    def test_max_ops_enforced_at_exact_budget(self):
+        """The guard trips as soon as op max_ops+1 is attempted — a
+        worker issuing exactly max_ops ops completes cleanly."""
+        def five_ops(tid):
+            for _ in range(5):
+                yield work(1)
+
+        sched, _ = _scheduler([lambda tid: five_ops(tid)])
+        sched.max_ops = 5
+        sched.run()  # exactly at the budget: no livelock report
+
+        sched, _ = _scheduler([lambda tid: five_ops(tid)])
+        sched.max_ops = 4
+        with pytest.raises(RuntimeError, match="max_ops=4"):
+            sched.run()
+
+    def test_max_ops_never_executes_more_than_budget(self):
+        executed = []
+
+        def forever(tid):
+            while True:
+                yield work(1)
+                executed.append(1)
+
+        sched, _ = _scheduler([forever])
+        sched.max_ops = 7
+        with pytest.raises(RuntimeError):
+            sched.run()
+        # The op that would exceed the budget was never executed.
+        assert len(executed) == 7
+
 
 class TestMachineOps:
     def test_cas_result_tuple(self):
