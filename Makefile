@@ -1,0 +1,35 @@
+# Developer entry points. Everything runs from the repo root with the
+# src/ layout on PYTHONPATH; no install step required.
+
+PY       := PYTHONPATH=src python
+PYTEST   := $(PY) -m pytest
+
+.PHONY: test smoke selftest figures trace clean
+
+# Full tier-1 suite (what CI gates on).
+test:
+	$(PYTEST) -x -q
+
+# Fast feedback loop: skip the tests marked @pytest.mark.slow
+# (recovery campaigns, hypothesis property sweeps, cross-mechanism
+# interleaving checks).
+smoke:
+	$(PYTEST) -q -m "not slow"
+
+# End-to-end self-tests: the parallel-runner equivalence suite and the
+# observability stack (bit-identity, trace export, attribution).
+selftest:
+	$(PY) -m repro.exp --selftest --quiet
+	$(PY) -m repro.obs --selftest
+
+# Regenerate the paper's evaluation figures (quick scale).
+figures:
+	$(PY) -m repro.bench.figures --scale quick
+
+# Example Chrome/Perfetto trace of a small LRP run.
+trace:
+	$(PY) -m repro.obs trace lrp-trace.json --mechanism lrp
+
+clean:
+	rm -rf .pytest_cache BENCH_runner.json lrp-trace.json
+	find . -name __pycache__ -type d -exec rm -rf {} +

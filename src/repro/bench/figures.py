@@ -83,12 +83,28 @@ class NormalizedExecutionResult:
         return render_table(self.title,
                             ["workload"] + self.mechanisms, rows)
 
+    def all_summaries(self) -> List[RunSummary]:
+        """Every run of the figure, in (workload, mechanism) order."""
+        return [self.results[workload][mech]
+                for workload in self.workloads
+                for mech in ["nop"] + self.mechanisms]
+
+    def render_attribution(self) -> str:
+        """Critical-path split per run (requires obs-collected runs)."""
+        from repro.obs.report import render_summaries
+
+        return render_summaries(
+            self.all_summaries(),
+            title=f"Critical-path attribution — {self.title}")
+
 
 def run_normalized_execution(config: MachineConfig, title: str, *,
                              scale: str = "quick", num_threads: int = 32,
                              seed: int = 1,
                              workloads: Optional[Sequence[str]] = None,
-                             runner: Optional[ExperimentRunner] = None
+                             runner: Optional[ExperimentRunner] = None,
+                             collect_obs: bool = False,
+                             collect_trace: bool = False
                              ) -> NormalizedExecutionResult:
     """Shared engine for Figures 5 and 7."""
     workloads = list(workloads or WORKLOAD_NAMES)
@@ -97,7 +113,9 @@ def run_normalized_execution(config: MachineConfig, title: str, *,
     jobs = [
         Job(spec=figure_spec(workload, num_threads=num_threads,
                              scale=scale, seed=seed),
-            mechanism=mech, config=config)
+            mechanism=mech, config=config,
+            collect_obs=collect_obs or collect_trace,
+            collect_trace=collect_trace)
         for workload in workloads
         for mech in mechanisms
     ]
@@ -113,7 +131,9 @@ def run_normalized_execution(config: MachineConfig, title: str, *,
 def run_figure5(*, scale: str = "quick", num_threads: int = 32,
                 seed: int = 1,
                 workloads: Optional[Sequence[str]] = None,
-                runner: Optional[ExperimentRunner] = None
+                runner: Optional[ExperimentRunner] = None,
+                collect_obs: bool = False,
+                collect_trace: bool = False
                 ) -> NormalizedExecutionResult:
     """Figure 5: exec time normalized to NOP, cached NVM mode."""
     return run_normalized_execution(
@@ -121,13 +141,16 @@ def run_figure5(*, scale: str = "quick", num_threads: int = 32,
         "Figure 5: execution time normalized to No-Persistency "
         "(cached mode, lower is better)",
         scale=scale, num_threads=num_threads, seed=seed,
-        workloads=workloads, runner=runner)
+        workloads=workloads, runner=runner,
+        collect_obs=collect_obs, collect_trace=collect_trace)
 
 
 def run_figure7(*, scale: str = "quick", num_threads: int = 32,
                 seed: int = 1,
                 workloads: Optional[Sequence[str]] = None,
-                runner: Optional[ExperimentRunner] = None
+                runner: Optional[ExperimentRunner] = None,
+                collect_obs: bool = False,
+                collect_trace: bool = False
                 ) -> NormalizedExecutionResult:
     """Figure 7: same as Figure 5 with the NVM DRAM cache disabled."""
     return run_normalized_execution(
@@ -135,7 +158,8 @@ def run_figure7(*, scale: str = "quick", num_threads: int = 32,
         "Figure 7: execution time normalized to No-Persistency "
         "(uncached mode, lower is better)",
         scale=scale, num_threads=num_threads, seed=seed,
-        workloads=workloads, runner=runner)
+        workloads=workloads, runner=runner,
+        collect_obs=collect_obs, collect_trace=collect_trace)
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +213,9 @@ class Figure8Result:
 
     thread_counts: List[int]
     overheads: Dict[str, Dict[str, List[float]]]  # wl -> mech -> [%]
+    #: Raw runs (submission order), kept only when obs was collected so
+    #: the attribution report can be rendered after the sweep.
+    summaries: Optional[List[RunSummary]] = None
 
     def render(self) -> str:
         blocks = []
@@ -206,7 +233,9 @@ def run_figure8(*, scale: str = "quick",
                 workloads: Optional[Sequence[str]] = None,
                 mechanisms: Sequence[str] = ("bb", "lrp"),
                 seed: int = 1,
-                runner: Optional[ExperimentRunner] = None) -> Figure8Result:
+                runner: Optional[ExperimentRunner] = None,
+                collect_obs: bool = False,
+                collect_trace: bool = False) -> Figure8Result:
     """Figure 8(a-e): overhead sweep over 1-32 worker threads."""
     thread_counts = list(thread_counts or FIGURE8_THREADS)
     workloads = list(workloads or WORKLOAD_NAMES)
@@ -215,7 +244,9 @@ def run_figure8(*, scale: str = "quick",
     jobs = [
         Job(spec=figure_spec(workload, num_threads=threads,
                              scale=scale, seed=seed),
-            mechanism=mech, config=config)
+            mechanism=mech, config=config,
+            collect_obs=collect_obs or collect_trace,
+            collect_trace=collect_trace)
         for workload in workloads
         for threads in thread_counts
         for mech in all_mechs
@@ -235,7 +266,10 @@ def run_figure8(*, scale: str = "quick",
                 index += 1
                 overheads[workload][mech].append(
                     run.stats.overhead_vs(nop.stats) * 100.0)
-    return Figure8Result(thread_counts=thread_counts, overheads=overheads)
+    return Figure8Result(
+        thread_counts=thread_counts, overheads=overheads,
+        summaries=list(summaries) if (collect_obs or collect_trace)
+        else None)
 
 
 # ----------------------------------------------------------------------
@@ -453,37 +487,75 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                              "result cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the progress meter on stderr")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect repro.obs metrics during the "
+                             "figure runs and print the critical-path "
+                             "attribution report after each figure")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="write one Chrome trace-event JSON per "
+                             "figure run into DIR (implies --obs)")
     args = parser.parse_args(argv)
     wanted = set(args.figures or
                  ["fig5", "fig6", "fig7", "fig8", "size", "ret",
                   "recovery"])
+    obs = args.obs or bool(args.trace_out)
+    trace = bool(args.trace_out)
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     runner = make_runner(jobs=jobs, use_cache=not args.no_cache,
                          verbose=not args.quiet)
     set_default_runner(runner)
 
+    traced: List[RunSummary] = []
+
     fig5 = None
     if wanted & {"fig5", "fig6"}:
-        fig5 = run_figure5(scale=args.scale)
+        fig5 = run_figure5(scale=args.scale, collect_obs=obs,
+                           collect_trace=trace)
         if "fig5" in wanted:
             print(fig5.render())
             print(f"\nmean improvement BB over SB: "
                   f"{fig5.mean_improvement('sb', 'bb') * 100:.0f}%")
             print(f"mean improvement LRP over BB: "
                   f"{fig5.mean_improvement('bb', 'lrp') * 100:.0f}%\n")
+            if obs:
+                print(fig5.render_attribution(), "\n")
+        if obs:
+            traced.extend(fig5.all_summaries())
     if "fig6" in wanted:
         print(run_figure6(fig5).render(), "\n")
     if "fig7" in wanted:
-        print(run_figure7(scale=args.scale).render(), "\n")
+        fig7 = run_figure7(scale=args.scale, collect_obs=obs,
+                           collect_trace=trace)
+        print(fig7.render(), "\n")
+        if obs:
+            print(fig7.render_attribution(), "\n")
+            traced.extend(fig7.all_summaries())
     if "fig8" in wanted:
-        print(run_figure8(scale=args.scale).render(), "\n")
+        fig8 = run_figure8(scale=args.scale, collect_obs=obs,
+                           collect_trace=trace)
+        print(fig8.render(), "\n")
+        if obs and fig8.summaries:
+            from repro.obs.report import render_summaries
+
+            print(render_summaries(
+                fig8.summaries,
+                title="Critical-path attribution — Figure 8 sweep"),
+                "\n")
+            traced.extend(fig8.summaries)
     if "size" in wanted:
         print(run_size_sensitivity().render(), "\n")
     if "ret" in wanted:
         print(run_ret_ablation().render(), "\n")
     if "recovery" in wanted:
         print(run_recovery_matrix().render())
+
+    if trace and traced:
+        from repro.obs.trace import dump_summary_traces
+
+        written = dump_summary_traces(traced, args.trace_out)
+        print(f"\nwrote {len(written)} Chrome trace files to "
+              f"{args.trace_out}/")
 
 
 if __name__ == "__main__":

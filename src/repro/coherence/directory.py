@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set
 from repro.coherence.l1cache import CacheLine, L1Cache, MESIState
 from repro.coherence.noc import MeshNoC
 from repro.common.params import MachineConfig
+from repro.obs import Observer
 
 
 @dataclasses.dataclass
@@ -75,11 +76,14 @@ class _DirEntry:
 class CoherenceFabric:
     """All L1s + directory + NoC, orchestrating MESI transitions."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(self, config: MachineConfig,
+                 obs: Optional[Observer] = None) -> None:
         self._config = config
-        self.noc = MeshNoC(config)
+        self.obs = obs
+        self.noc = MeshNoC(config, obs=obs)
         self.l1s: List[L1Cache] = [
-            L1Cache(core_id, config) for core_id in range(config.num_cores)
+            L1Cache(core_id, config, obs=obs)
+            for core_id in range(config.num_cores)
         ]
         self._dir: Dict[int, _DirEntry] = {}
         self._blocked_until: Dict[int, int] = {}
@@ -91,6 +95,8 @@ class CoherenceFabric:
     def block_line_until(self, line_addr: int, time: int) -> None:
         """Block requests for a line until ``time`` (LRP invariant I4)."""
         current = self._blocked_until.get(line_addr, 0)
+        if self.obs is not None and time > current:
+            self.obs.count("dir.lines_blocked")
         self._blocked_until[line_addr] = max(current, time)
 
     def blocked_until(self, line_addr: int) -> int:
@@ -143,6 +149,11 @@ class CoherenceFabric:
         entry = self._entry(line_addr)
         arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id, home)
         block_wait = max(0, self.blocked_until(line_addr) - arrival)
+        if self.obs is not None:
+            self.obs.count("dir.upgrades")
+            if block_wait:
+                self.obs.count("dir.block_wait_cycles", block_wait)
+                self.obs.observe("dir.block_wait", block_wait)
         invalidated = 0
         for sharer in list(entry.sharers):
             if sharer == core_id:
@@ -168,6 +179,11 @@ class CoherenceFabric:
 
         arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id, home)
         block_wait = max(0, self.blocked_until(line_addr) - arrival)
+        if self.obs is not None:
+            self.obs.count("dir.misses")
+            if block_wait:
+                self.obs.count("dir.block_wait_cycles", block_wait)
+                self.obs.observe("dir.block_wait", block_wait)
 
         downgrade: Optional[Downgrade] = None
         latency = (cfg.l1_hit_cycles + self.noc.latency(core_id, home)

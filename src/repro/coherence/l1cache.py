@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.params import MachineConfig
+
+if TYPE_CHECKING:
+    from repro.obs import Observer
 
 Word = Optional[int]
 
@@ -89,8 +92,10 @@ class CacheLine:
 class L1Cache:
     """Set-associative, LRU, write-back private L1."""
 
-    def __init__(self, core_id: int, config: MachineConfig) -> None:
+    def __init__(self, core_id: int, config: MachineConfig,
+                 obs: Optional["Observer"] = None) -> None:
         self.core_id = core_id
+        self.obs = obs
         self._config = config
         self._num_sets = config.l1_num_sets
         self._assoc = config.l1_assoc
@@ -144,6 +149,9 @@ class L1Cache:
         line = CacheLine(addr=line_addr, state=state)
         cache_set[line_addr] = line
         self._touch(line)
+        if self.obs is not None:
+            self.obs.count("l1.fills")
+            self.obs.observe("l1.set_occupancy", len(cache_set))
         return line
 
     def remove(self, line_addr: int) -> CacheLine:

@@ -10,14 +10,21 @@ the mesh is second-order for the persist-stall effects under study).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.common.params import MachineConfig
+
+if TYPE_CHECKING:
+    from repro.obs import Observer
 
 
 class MeshNoC:
     """Deterministic hop-latency model of the 2D mesh."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(self, config: MachineConfig,
+                 obs: Optional["Observer"] = None) -> None:
         self._config = config
+        self._obs = obs
         self._dim = config.mesh_dim
 
     @property
@@ -37,5 +44,11 @@ class MeshNoC:
     def latency(self, tile_a: int, tile_b: int) -> int:
         """One-way message latency between two tiles."""
         if tile_a == tile_b:
+            if self._obs is not None:
+                self._obs.count("noc.msgs")
             return 1
-        return self.hop_distance(tile_a, tile_b) * self._config.noc_hop_cycles + 1
+        hops = self.hop_distance(tile_a, tile_b)
+        if self._obs is not None:
+            self._obs.count("noc.msgs")
+            self._obs.count("noc.hops", hops)
+        return hops * self._config.noc_hop_cycles + 1

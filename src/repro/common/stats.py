@@ -110,21 +110,33 @@ class RunStats:
         """Fractional execution-time overhead over ``baseline``.
 
         Figure 8 reports this as a percentage over volatile (NOP)
-        execution: ``overhead_vs(nop) * 100``.
+        execution: ``overhead_vs(nop) * 100``. A zero-cycle baseline
+        has no meaningful overhead ratio and raises ``ValueError``
+        rather than silently reporting 0.
         """
         base = baseline.execution_cycles
         if base == 0:
-            return 0.0
+            raise ValueError(
+                f"cannot compute overhead against a zero-cycle baseline "
+                f"({baseline.mechanism}/{baseline.workload}: did the "
+                f"baseline run execute any operations?)")
         return (self.execution_cycles - base) / base
 
     def normalized_to(self, baseline: "RunStats") -> float:
-        """Execution time normalized to ``baseline`` (Figure 5/7 y-axis)."""
+        """Execution time normalized to ``baseline`` (Figure 5/7 y-axis).
+
+        Raises ``ValueError`` on a zero-cycle baseline — a ratio to
+        nothing would be reported as 0x and read as "infinitely fast".
+        """
         base = baseline.execution_cycles
         if base == 0:
-            return 0.0
+            raise ValueError(
+                f"cannot normalize to a zero-cycle baseline "
+                f"({baseline.mechanism}/{baseline.workload}: did the "
+                f"baseline run execute any operations?)")
         return self.execution_cycles / base
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
         """Flat dictionary of the headline metrics for reporting."""
         return {
             "mechanism": self.mechanism,

@@ -25,6 +25,7 @@ from repro.consistency.events import MemOrder, MemoryEvent, Trace
 from repro.core.thread import Op, OpKind
 from repro.memory.address import line_address
 from repro.memory.nvm import NVMController
+from repro.obs import Observer
 from repro.persistency import PersistencyMechanism, mechanism_by_name
 
 Word = Optional[int]
@@ -41,16 +42,18 @@ class Machine:
 
     def __init__(self, config: MachineConfig,
                  mechanism: Union[str, Type[PersistencyMechanism]] = "nop",
+                 observer: Optional[Observer] = None,
                  ) -> None:
         self.config = config
-        self.fabric = CoherenceFabric(config)
+        self.obs = observer
+        self.fabric = CoherenceFabric(config, obs=observer)
         self.nvm = NVMController(config)
         self.trace = Trace(record=config.record_trace)
         self.stats = [CoreStats(core_id=i) for i in range(config.num_cores)]
         if isinstance(mechanism, str):
             mechanism = mechanism_by_name(mechanism)
         self.mechanism: PersistencyMechanism = mechanism(
-            config, self.nvm, self.fabric, self.stats)
+            config, self.nvm, self.fabric, self.stats, obs=observer)
         self.boundary_event = 0
 
     # ------------------------------------------------------------------
@@ -80,6 +83,7 @@ class Machine:
             stats.l1_misses += 1
 
         # Coherence side effects -> persistency hooks.
+        obs = self.obs
         if access.downgrade is not None:
             dg = access.downgrade
             self.stats[dg.owner].downgrades_received += 1
@@ -88,6 +92,12 @@ class Machine:
                 # toward the writeback total (Figure 6's denominator)
                 # but can never be on the critical path.
                 self.stats[dg.owner].writebacks_total += 1
+            if obs is not None:
+                obs.count("coh.downgrades")
+                if dg.had_pending:
+                    obs.count("coh.downgrades_dirty")
+                obs.instant(f"core{core}", f"downgrade c{dg.owner}",
+                            now + latency, cat="coherence")
             latency += self.mechanism.on_downgrade(
                 dg.owner, dg.line, dg.to_state, core, now + latency)
             if dg.line.has_pending:
@@ -99,12 +109,20 @@ class Machine:
             stats.evictions += 1
             if ev.was_modified and not ev.had_pending:
                 stats.writebacks_total += 1
+            if obs is not None:
+                obs.count("coh.evictions")
+                if ev.had_pending:
+                    obs.count("coh.evictions_dirty")
+                obs.instant(f"core{core}", "evict", now + latency,
+                            cat="coherence")
             latency += self.mechanism.on_evict(core, ev.line, now + latency)
             if ev.line.has_pending:
                 raise AssertionError(
                     f"{self.mechanism.name}: evicted line "
                     f"{ev.line.addr:#x} still holds unpersisted words")
         stats.invalidations_received += access.invalidated_sharers
+        if obs is not None and access.invalidated_sharers:
+            obs.count("coh.invalidations", access.invalidated_sharers)
 
         # The operation itself.
         if kind is _READ:
@@ -194,7 +212,10 @@ class Machine:
 
     def checkpoint(self, now: int) -> None:
         """Drain all buffers and make the current state the baseline."""
-        self.mechanism.drain(now)
+        stall = self.mechanism.drain(now)
+        if self.obs is not None:
+            self.obs.span("run", "checkpoint-drain", now, stall,
+                          cat="drain")
         self.nvm.set_baseline_image(self.trace.memory_snapshot(),
                                     self.trace.last_writer_snapshot())
         self.nvm.reset_log()  # measured phase starts a fresh log
@@ -202,4 +223,7 @@ class Machine:
 
     def finish(self, now: int) -> int:
         """End of run: drain everything so all writes become durable."""
-        return self.mechanism.drain(now)
+        stall = self.mechanism.drain(now)
+        if self.obs is not None:
+            self.obs.span("run", "final-drain", now, stall, cat="drain")
+        return stall

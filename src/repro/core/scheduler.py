@@ -15,7 +15,9 @@ import heapq
 from typing import Callable, Generator, Iterable, List, Optional
 
 from repro.core.machine import Machine
-from repro.core.thread import Op
+from repro.core.thread import Op, OpKind
+
+_WORK = OpKind.WORK
 
 WorkerGen = Generator[Op, object, None]
 WorkerFactory = Callable[[int], WorkerGen]
@@ -72,6 +74,7 @@ class Scheduler:
         compute = self.machine.config.compute_cycles_per_op
         execute = self.machine.execute
         stats = self.machine.stats
+        obs = self.machine.obs
         heappop, heappush = heapq.heappop, heapq.heappush
         heap = [(t.clock, t.thread_id) for t in self.threads]
         heapq.heapify(heap)
@@ -90,6 +93,18 @@ class Scheduler:
                     "possible livelock in a workload")
             result, latency = execute(tid, op, thread.clock)
             thread.deliver(result)
+            if obs is not None:
+                # Exact compute attribution for the critical-path
+                # report: WORK latency is pure compute; memory ops
+                # contribute only the fixed per-op compute charge.
+                if op.kind is _WORK:
+                    obs.count(f"sched.compute_cycles.c{tid}",
+                              latency + compute)
+                else:
+                    obs.count(f"sched.compute_cycles.c{tid}", compute)
+                    obs.count(f"sched.mem_cycles.c{tid}", latency)
+                obs.span(f"core{tid}", op.kind.name, thread.clock,
+                         latency + compute, cat="op")
             thread.clock += latency + compute
             self._executed_ops += 1
             heappush(heap, (thread.clock, tid))

@@ -15,6 +15,7 @@ from repro.common.params import DEFAULT_CONFIG, MachineConfig
 from repro.common.stats import RunStats
 from repro.core.machine import Machine
 from repro.core.scheduler import Scheduler
+from repro.obs import Observer
 from repro.lfds import LogFreeStructure
 from repro.workloads.harness import (
     Outcome,
@@ -76,12 +77,18 @@ class SimulationResult:
 
 def simulate(spec: WorkloadSpec,
              mechanism: str = "lrp",
-             config: Optional[MachineConfig] = None) -> SimulationResult:
-    """Run one full benchmark configuration."""
+             config: Optional[MachineConfig] = None,
+             observer: Optional[Observer] = None) -> SimulationResult:
+    """Run one full benchmark configuration.
+
+    ``observer`` attaches the :mod:`repro.obs` instrumentation; the
+    default (None) leaves every hook disabled and the run bit-identical
+    to an unobserved one.
+    """
     config = config or DEFAULT_CONFIG
     if spec.num_threads > config.num_cores:
         config = dataclasses.replace(config, num_cores=spec.num_threads)
-    machine = Machine(config, mechanism)
+    machine = Machine(config, mechanism, observer=observer)
     structure = make_structure(spec, config)
     machine.install_initial_state(build_initial_memory(spec, structure))
 

@@ -69,7 +69,9 @@ def _timed_run(runner: ExperimentRunner, jobs: Sequence[Job],
     return summaries, time.perf_counter() - start
 
 
-def run_selftest(workers: int, output: str, verbose: bool = True) -> dict:
+def run_selftest(workers: int, output: str, verbose: bool = True,
+                 obs: bool = False,
+                 trace_out: Optional[str] = None) -> dict:
     jobs = selftest_jobs()
     progress = ProgressReporter() if verbose else None
 
@@ -97,6 +99,32 @@ def run_selftest(workers: int, output: str, verbose: bool = True) -> dict:
                            == _fingerprint(warm_summaries)
                            == _fingerprint(serial_summaries))
 
+    obs_report = None
+    if obs or trace_out:
+        from repro.obs.report import attribute_summary
+        from repro.obs.trace import dump_summary_traces
+
+        obs_jobs = [dataclasses.replace(job, collect_obs=True,
+                                        collect_trace=bool(trace_out))
+                    for job in jobs]
+        observed = ExperimentRunner(jobs=workers, progress=progress)
+        obs_summaries, obs_seconds = _timed_run(observed, obs_jobs, "obs")
+        obs_identical = (_fingerprint(obs_summaries)
+                         == _fingerprint(serial_summaries))
+        reconciled = all(
+            attribute_summary(s).persist_stall_total
+            == s.stats.persist_stall_cycles
+            for s in obs_summaries)
+        obs_report = {
+            "seconds": round(obs_seconds, 3),
+            "identical_results": obs_identical,
+            "persist_stalls_reconciled": reconciled,
+        }
+        if trace_out:
+            obs_report["traces_written"] = len(
+                dump_summary_traces(obs_summaries, trace_out))
+            obs_report["trace_dir"] = trace_out
+
     report = {
         "suite": {
             "jobs": len(jobs),
@@ -121,6 +149,8 @@ def run_selftest(workers: int, output: str, verbose: bool = True) -> dict:
             "identical_results": cache_identical,
         },
     }
+    if obs_report is not None:
+        report["obs"] = obs_report
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -141,6 +171,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the progress meter")
+    parser.add_argument("--obs", action="store_true",
+                        help="additionally run an obs-instrumented pass "
+                             "and verify it is bit-identical and its "
+                             "stall metrics reconcile")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="write one Chrome trace-event JSON per "
+                             "job into DIR (implies --obs)")
     args = parser.parse_args(argv)
 
     if not args.selftest:
@@ -148,10 +185,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
-    report = run_selftest(workers, args.output, verbose=not args.quiet)
+    report = run_selftest(workers, args.output, verbose=not args.quiet,
+                          obs=args.obs, trace_out=args.trace_out)
     ok = (report["identical_results"]
           and report["cache"]["identical_results"]
           and report["cache"]["hit_rate"] == 1.0)
+    if "obs" in report:
+        ok = (ok and report["obs"]["identical_results"]
+              and report["obs"]["persist_stalls_reconciled"])
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"\nselftest {'PASSED' if ok else 'FAILED'}: "
           f"wrote {args.output}")

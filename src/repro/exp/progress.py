@@ -7,6 +7,7 @@ silent :class:`NullProgress` is the default for library/pytest use.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import IO, Optional
@@ -56,13 +57,24 @@ class ProgressReporter(NullProgress):
         self.stream.write("\n")
         self.stream.flush()
 
+    def _width(self) -> int:
+        """Columns of the attached terminal, or 80 when undetectable."""
+        try:
+            return os.get_terminal_size(self.stream.fileno()).columns
+        except (AttributeError, ValueError, OSError):
+            return 80
+
     def _emit(self, detail: str) -> None:
         head = f"[exp{': ' + self.label if self.label else ''}]"
-        line = f"\r{head} {self.done}/{self.total}"
+        line = f"{head} {self.done}/{self.total}"
         if self.cached:
             line += f" ({self.cached} cached)"
         if detail:
             line += f" {detail}"
-        # Pad to clear leftovers of a longer previous line.
-        self.stream.write(f"{line:<79}")
+        # Clip to the terminal so a long job label cannot wrap (which
+        # would break the \r rewrite), and pad to clear leftovers of a
+        # longer previous line. The last column stays free: writing it
+        # makes some terminals wrap anyway.
+        width = max(1, self._width() - 1)
+        self.stream.write(f"\r{line[:width]:<{width}}")
         self.stream.flush()

@@ -50,6 +50,11 @@ class Job:
     # many persist-log prefixes (the recovery-matrix experiment).
     crash_points: Optional[int] = None
     crash_seed: int = 0
+    # Observability (repro.obs): attach an Observer inside the worker
+    # and ship its metrics (and, with collect_trace, the Chrome trace
+    # events) back in ``RunSummary.obs``. Never affects timing.
+    collect_obs: bool = False
+    collect_trace: bool = False
 
     def key(self) -> str:
         """Content-addressed cache key (includes the code version)."""
@@ -88,6 +93,10 @@ class RunSummary:
     mechanism_counters: Dict[str, int]
     crash_attempts: Optional[int] = None
     crash_failures: Optional[int] = None
+    #: Serialized :class:`~repro.obs.Observer` export (metrics dict,
+    #: plus ``trace_events`` when the job asked for a trace). ``None``
+    #: unless the job was run with ``collect_obs``.
+    obs: Optional[Dict[str, object]] = None
 
 
 def summarize(result: SimulationResult) -> RunSummary:
@@ -123,8 +132,16 @@ def summarize(result: SimulationResult) -> RunSummary:
 
 def execute_job(job: Job) -> RunSummary:
     """Run one job to completion (the worker-process entry point)."""
-    result = simulate(job.spec, job.mechanism, job.config)
+    observer = None
+    if job.collect_obs or job.collect_trace:
+        from repro.obs import Observer
+
+        observer = Observer(trace=job.collect_trace)
+    result = simulate(job.spec, job.mechanism, job.config,
+                      observer=observer)
     summary = summarize(result)
+    if observer is not None:
+        summary.obs = observer.export()
     if job.crash_points is not None:
         from repro.core.recovery import crash_test
 

@@ -1,0 +1,85 @@
+"""``repro.obs`` — observability for the simulator.
+
+The subsystem has three layers:
+
+* an :class:`Observer` instrumentation hub that the machine, scheduler,
+  coherence fabric and persistency mechanisms feed through guarded
+  hooks (``if obs is not None: ...`` at every call site, so the
+  disabled path costs one attribute load and never perturbs timing);
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters/histograms
+  that serializes into :class:`~repro.exp.runner.RunSummary` and thus
+  travels through worker processes and the result cache for free;
+* exporters — a Chrome trace-event JSON writer
+  (:mod:`repro.obs.trace`) and the critical-path attribution report
+  (:mod:`repro.obs.report`) that splits a run's makespan into
+  compute / coherence / persist-stall segments.
+
+``python -m repro.obs`` exposes ``trace`` / ``report`` subcommands and
+``--selftest``; the ``repro.exp`` and ``repro.bench.figures`` CLIs
+collect the same data behind ``--obs`` / ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry, merged_registries
+from repro.obs.trace import TraceCollector, write_chrome_trace
+
+__all__ = [
+    "Observer",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceCollector",
+    "merged_registries",
+    "write_chrome_trace",
+]
+
+
+class Observer:
+    """Per-run instrumentation hub: metrics plus (optional) tracing.
+
+    Instrumented components hold a reference that is ``None`` when
+    observability is off; every hook site guards with
+    ``if obs is not None`` so the disabled path stays near-zero cost.
+    Hooks only *read* simulator state — attaching an observer never
+    changes latencies, stats or the persist log (pinned by
+    ``tests/test_obs.py``).
+    """
+
+    __slots__ = ("metrics", "trace")
+
+    def __init__(self, *, trace: bool = False) -> None:
+        self.metrics = MetricsRegistry()
+        self.trace: Optional[TraceCollector] = (
+            TraceCollector() if trace else None)
+
+    # -- metrics -------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        counters = self.metrics.counters
+        counters[name] = counters.get(name, 0) + value
+
+    def observe(self, name: str, value: int) -> None:
+        self.metrics.observe(name, value)
+
+    # -- tracing (no-ops unless trace collection was requested) --------
+
+    def span(self, track: str, name: str, ts: int, dur: int,
+             cat: str = "sim", args: Optional[dict] = None) -> None:
+        if self.trace is not None:
+            self.trace.span(track, name, ts, dur, cat, args)
+
+    def instant(self, track: str, name: str, ts: int,
+                cat: str = "sim", args: Optional[dict] = None) -> None:
+        if self.trace is not None:
+            self.trace.instant(track, name, ts, cat, args)
+
+    # -- export --------------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """Picklable dump: metrics always, trace events when collected."""
+        data: Dict[str, object] = {"metrics": self.metrics.to_dict()}
+        if self.trace is not None:
+            data["trace_events"] = self.trace.chrome_events()
+        return data

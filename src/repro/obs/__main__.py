@@ -1,0 +1,211 @@
+"""``python -m repro.obs`` — tracing, attribution, and self-test.
+
+Subcommands:
+
+* ``trace out.json`` — run one small simulation with full tracing and
+  write a ``chrome://tracing`` / Perfetto-loadable trace-event file;
+* ``report`` — run one workload under several mechanisms and print the
+  critical-path attribution report (the textual explanation of the
+  paper's Figures 5-8: where each mechanism's makespan goes);
+* ``--selftest`` — end-to-end check on a tiny workload: obs hooks
+  disabled vs. enabled yield bit-identical runs, the trace export
+  round-trips through ``json`` with monotone per-track timestamps, and
+  the attribution reconciles exactly with ``RunStats``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.params import MachineConfig, NVMMode
+from repro.core.simulator import SimulationResult, simulate
+from repro.obs import Observer, write_chrome_trace
+from repro.obs.report import (
+    attribute_run,
+    render_attribution,
+)
+from repro.workloads.harness import WorkloadSpec
+
+SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+
+def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(structure=args.workload,
+                        num_threads=args.threads,
+                        initial_size=args.size,
+                        ops_per_thread=args.ops,
+                        seed=args.seed)
+
+
+def _config_from_args(args: argparse.Namespace) -> MachineConfig:
+    mode = NVMMode.UNCACHED if args.uncached else NVMMode.CACHED
+    return MachineConfig(num_cores=max(args.threads, 1), nvm_mode=mode)
+
+
+def _observed_run(spec: WorkloadSpec, mechanism: str,
+                  config: MachineConfig, *, trace: bool
+                  ) -> Tuple[SimulationResult, Observer]:
+    observer = Observer(trace=trace)
+    result = simulate(spec, mechanism, config, observer=observer)
+    return result, observer
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="hashmap",
+                        help="LFD to run (default: %(default)s)")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--size", type=int, default=256,
+                        help="initial structure size")
+    parser.add_argument("--ops", type=int, default=24,
+                        help="operations per thread")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--uncached", action="store_true",
+                        help="uncached NVM mode (Figure 7 regime)")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    config = _config_from_args(args)
+    result, observer = _observed_run(spec, args.mechanism, config,
+                                     trace=True)
+    events = observer.trace.chrome_events()
+    write_chrome_trace(events, args.output)
+    attribution = attribute_run(result.stats, observer.metrics.counters)
+    print(f"wrote {len(events)} trace events to {args.output} "
+          f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    print(f"{spec.structure}/{args.mechanism}: makespan "
+          f"{result.makespan} cycles, persist stalls "
+          f"{attribution.persist_stall_total} cycles")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    config = _config_from_args(args)
+    attributions = []
+    for mechanism in args.mechanisms:
+        result, observer = _observed_run(spec, mechanism, config,
+                                         trace=False)
+        attributions.append(
+            attribute_run(result.stats, observer.metrics.counters))
+    print(render_attribution(
+        attributions,
+        title=f"Critical-path attribution: {spec.structure}, "
+              f"{spec.num_threads} threads, "
+              f"{spec.ops_per_thread} ops/thread "
+              f"({config.nvm_mode.value} NVM)"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Self-test
+# ----------------------------------------------------------------------
+
+def _check_monotone(events: List[dict]) -> None:
+    """Per track, data-event timestamps must be non-decreasing."""
+    last: dict = {}
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        track = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if event.get("dur", 0) < 0:
+            raise AssertionError(f"negative dur in {event}")
+        if track in last and ts < last[track]:
+            raise AssertionError(
+                f"ts regression on track {track}: {last[track]} -> {ts}")
+        last[track] = ts
+
+
+def run_selftest(verbose: bool = True) -> bool:
+    """Tiny-workload end-to-end check of the whole obs stack."""
+    from repro.exp.runner import execute_job, Job
+
+    spec = WorkloadSpec(structure="hashmap", num_threads=4,
+                        initial_size=64, ops_per_thread=12, seed=1)
+    config = MachineConfig(num_cores=4)
+    ok = True
+    for mechanism in SELFTEST_MECHANISMS:
+        plain = simulate(spec, mechanism, config)
+        observed, observer = _observed_run(spec, mechanism, config,
+                                           trace=True)
+
+        identical = (plain.makespan == observed.makespan
+                     and plain.stats.summary() == observed.stats.summary())
+
+        with tempfile.NamedTemporaryFile("w+", suffix=".json") as tmp:
+            write_chrome_trace(observer.trace.chrome_events(), tmp)
+            tmp.flush()
+            tmp.seek(0)
+            document = json.load(tmp)
+        events = document["traceEvents"]
+        _check_monotone(events)
+
+        attribution = attribute_run(observed.stats,
+                                    observer.metrics.counters)
+        reconciles = (attribution.persist_stall_total
+                      == observed.stats.persist_stall_cycles)
+        critical = attribution.critical_core
+        adds_up = (critical.compute + critical.coherence
+                   + critical.persist_stall == critical.total
+                   and critical.total == observed.makespan
+                   and all(c.coherence >= 0 for c in attribution.cores))
+
+        # The obs path must also compose with the runner/cache layer.
+        summary = execute_job(Job(spec=spec, mechanism=mechanism,
+                                  config=config, collect_obs=True))
+        carried = (summary.obs is not None
+                   and summary.obs["metrics"]["counters"]
+                   == observer.metrics.counters)
+
+        passed = identical and reconciles and adds_up and carried
+        ok = ok and passed
+        if verbose:
+            print(f"[obs-selftest] {mechanism:4s}  "
+                  f"identical={identical}  trace_events={len(events)}  "
+                  f"stall_reconciled={reconciles}  "
+                  f"segments_add_up={adds_up}  summary_carries={carried}")
+    if verbose:
+        print(f"[obs-selftest] {'PASSED' if ok else 'FAILED'}")
+    return ok
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability utilities: trace export, "
+                    "critical-path attribution, self-test.")
+    parser.add_argument("--selftest", action="store_true",
+                        help="tiny-workload end-to-end obs check")
+    subparsers = parser.add_subparsers(dest="command")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run one simulation and export a Chrome trace")
+    trace_parser.add_argument("output",
+                              help="trace-event JSON destination")
+    trace_parser.add_argument("--mechanism", default="lrp")
+    _add_workload_args(trace_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="print the critical-path attribution report")
+    report_parser.add_argument("--mechanisms", nargs="+",
+                               default=list(SELFTEST_MECHANISMS))
+    _add_workload_args(report_parser)
+
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return 0 if run_selftest() else 1
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "report":
+        return cmd_report(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Metrics registry: named counters and histograms.
+
+The registry is deliberately primitive — a flat namespace of integer
+counters plus fixed power-of-two-bucket histograms — because its values
+must (a) serialize losslessly into a :class:`~repro.exp.runner.RunSummary`
+(plain dicts of ints survive pickling between worker processes and the
+on-disk result cache), and (b) merge across runs for sweep-level
+aggregation without any schema negotiation.
+
+Naming convention: dotted paths, most-general first
+(``persist.lines``, ``stall.inter-thread``, ``lrp.engine_runs``).
+Per-core counters append a ``.c<id>`` leaf
+(``sched.compute_cycles.c3``) so the attribution report can recover
+the per-core split with a prefix scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class Histogram:
+    """Streaming histogram with power-of-two buckets.
+
+    Bucket ``k`` counts observations ``v`` with
+    ``2**(k-1) < v <= 2**k`` (bucket 0 counts ``v <= 1``); negative
+    values are clamped into bucket 0. Alongside the buckets the exact
+    count / sum / min / max are tracked, so means are not quantized.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = max(0, int(value) - 1).bit_length() if value > 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        hist = cls()
+        hist.count = int(data["count"])          # type: ignore[arg-type]
+        hist.total = int(data["sum"])            # type: ignore[arg-type]
+        hist.min = data["min"]                   # type: ignore[assignment]
+        hist.max = data["max"]                   # type: ignore[assignment]
+        hist.buckets = {int(k): int(v)
+                        for k, v in data["buckets"].items()}  # type: ignore
+        return hist
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and histograms for one run."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: int) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {name: value for name, value in self.counters.items()
+                if name.startswith(prefix)}
+
+    # -- (de)serialization and merging ---------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {name: hist.to_dict()
+                           for name, hist in sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters = dict(data.get("counters", {}))  # type: ignore
+        registry.histograms = {
+            name: Histogram.from_dict(hist)
+            for name, hist in data.get("histograms", {}).items()  # type: ignore
+        }
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+
+
+def merged_registries(dicts: Iterable[Dict[str, object]]) -> MetricsRegistry:
+    """Merge serialized registries (e.g. from many runs of a sweep)."""
+    result = MetricsRegistry()
+    for data in dicts:
+        result.merge(MetricsRegistry.from_dict(data))
+    return result
+
+
+def top_counters(registry: MetricsRegistry, prefix: str,
+                 limit: int = 5) -> List[str]:
+    """The largest counters under a prefix, rendered ``name=value``."""
+    items = sorted(registry.counters_with_prefix(prefix).items(),
+                   key=lambda kv: (-kv[1], kv[0]))[:limit]
+    return [f"{name}={value}" for name, value in items]

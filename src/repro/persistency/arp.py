@@ -58,6 +58,13 @@ class ARPMechanism(PersistencyMechanism):
                                    record.complete_time)
         self.stats[core].persists_issued += 1
         self.stats[core].writebacks_total += 1
+        obs = self.obs
+        if obs is not None:
+            obs.count("arp.word_persists")
+            obs.span(f"nvm-ch{self.nvm.channel_for(line_addr)}",
+                     f"persist c{core}", record.issue_time,
+                     record.complete_time - record.issue_time,
+                     cat="persist")
 
     def on_write(self, core: int, line: CacheLine, event: MemoryEvent,
                  now: int) -> int:
@@ -82,6 +89,8 @@ class ARPMechanism(PersistencyMechanism):
                                     self._open_ack[sync_source])
         if self._release_flag[core] or chain_from_source:
             self.stats[core].barrier_count += 1
+            if self.obs is not None:
+                self.obs.count("arp.acquire_barriers")
             self._closed_ack[core] = max(self._closed_ack[core],
                                          self._open_ack[core],
                                          chain_from_source)

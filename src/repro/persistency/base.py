@@ -24,6 +24,7 @@ from repro.common.params import MachineConfig
 from repro.common.stats import CoreStats
 from repro.consistency.events import MemoryEvent
 from repro.memory.nvm import NVMController, PersistRecord
+from repro.obs import Observer
 
 Word = Optional[int]
 
@@ -36,11 +37,13 @@ class PersistencyMechanism:
     enforces_rp = False
 
     def __init__(self, config: MachineConfig, nvm: NVMController,
-                 fabric: CoherenceFabric, stats: List[CoreStats]) -> None:
+                 fabric: CoherenceFabric, stats: List[CoreStats],
+                 obs: Optional[Observer] = None) -> None:
         self.config = config
         self.nvm = nvm
         self.fabric = fabric
         self.stats = stats
+        self.obs = obs
         self._critical_seqs: Set[int] = set()
         self._record_core: Dict[int, int] = {}
         # Per-core map of line addr -> the most recent in-flight persist
@@ -129,6 +132,15 @@ class PersistencyMechanism:
         self._issued[core].append((epoch, record))
         self.stats[core].persists_issued += 1
         self.stats[core].writebacks_total += 1
+        obs = self.obs
+        if obs is not None:
+            duration = record.complete_time - record.issue_time
+            obs.count("persist.lines")
+            obs.observe("persist.latency", duration)
+            obs.observe("persist.inflight", len(self._issued[core]))
+            obs.span(f"nvm-ch{self.nvm.channel_for(line.addr)}",
+                     f"persist c{core}", record.issue_time, duration,
+                     cat="persist")
         return record
 
     def _wait_for(self, waiter: int, now: int,
@@ -167,6 +179,12 @@ class PersistencyMechanism:
             stats.persist_stall_cycles += stall
             stats.stall_reasons[reason] = (
                 stats.stall_reasons.get(reason, 0) + stall)
+            if self.obs is not None:
+                # Same value as the stats charge, so the obs stall
+                # counters reconcile with persist_stall_cycles exactly.
+                self.obs.count(f"stall.{reason}", stall)
+                self.obs.span(f"stall-c{waiter}", reason, now, stall,
+                              cat="stall")
         return stall
 
     def _mark_critical(self, record: PersistRecord) -> None:
@@ -176,6 +194,8 @@ class PersistencyMechanism:
         issuer = self._record_core.get(record.issue_seq)
         if issuer is not None:
             self.stats[issuer].writebacks_critical += 1
+            if self.obs is not None:
+                self.obs.count("persist.critical_writebacks")
 
     def _inflight_record(self, core: int, line_addr: int,
                          now: int) -> Optional[PersistRecord]:

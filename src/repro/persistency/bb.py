@@ -124,6 +124,9 @@ class BBMechanism(PersistencyMechanism):
         of barriers throttles on the oldest epoch's drain.
         """
         self.stats[core].barrier_count += 1
+        if self.obs is not None:
+            self.obs.count("bb.barriers")
+            self.obs.observe("bb.epoch_lines", len(self._open[core]))
         epoch_ack = self._flush_open(core, now)
         self._epoch[core] += 1
         acks = self._epoch_acks[core]
@@ -148,6 +151,7 @@ class BBMechanism(PersistencyMechanism):
 
         Returns the time at which everything flushed so far is durable.
         """
+        flushed = len(self._open[core])
         if self.config.bb_pipelined_epochs:
             previous_tail = self._chain_tail[core]
             for line in list(self._open[core].values()):
@@ -160,7 +164,13 @@ class BBMechanism(PersistencyMechanism):
                 record = self._issue_line(core, line, now, after=gate)
                 self._advance_tail(core, record)
         self._open[core].clear()
-        return self._chain_ack(core)
+        ack = self._chain_ack(core)
+        if self.obs is not None and flushed:
+            self.obs.count("bb.epoch_flushes")
+            self.obs.span(f"epochs-c{core}", f"epoch {self._epoch[core]}",
+                          now, max(0, ack - now), cat="epoch-drain",
+                          args={"lines": flushed})
+        return ack
 
     def _advance_tail(self, core: int, record) -> None:
         if record is None:

@@ -137,6 +137,9 @@ class LRPMechanism(PersistencyMechanism):
         if not line.has_pending:
             self._block_if_inflight(core, line.addr, now)
             return 0
+        if self.obs is not None and line.min_epoch is not None:
+            self.obs.observe("lrp.epoch_age_at_evict",
+                             self._epoch[core] - line.min_epoch)
         if line.is_released:
             # I1: run the persist engine, off the critical path; the
             # directory blocks the line until its persist acks (the
@@ -201,6 +204,7 @@ class LRPMechanism(PersistencyMechanism):
             raise ValueError("persist-engine trigger must hold a release")
         pending = self._pending[core]
         pending.pop(trigger.addr, None)
+        scanned = len(pending)
 
         writes_tail: Optional[PersistRecord] = None
         records: List[PersistRecord] = []
@@ -243,6 +247,13 @@ class LRPMechanism(PersistencyMechanism):
             barrier = record
             self._release_tail[core] = record
             ready = max(ready, record.complete_time)
+        if self.obs is not None:
+            self.obs.count("lrp.engine_runs")
+            self.obs.observe("lrp.engine_scan_lines", scanned)
+            self.obs.observe("lrp.engine_chain_persists", len(records))
+            self.obs.span(f"engine-c{core}", "persist-engine", now,
+                          max(0, ready - now), cat="epoch-drain",
+                          args={"persists": len(records)})
         return ready, records
 
     # ------------------------------------------------------------------
@@ -255,13 +266,19 @@ class LRPMechanism(PersistencyMechanism):
             # Epoch-id overflow: persist all not-yet-persisted lines
             # (ordered), then restart the epochs.
             self.stats_epoch_wraps += 1
+            if self.obs is not None:
+                self.obs.count("lrp.epoch_wraps")
             self._drain_core(core, now)
             self._epoch[core] = 1
 
     def _check_watermark(self, core: int, now: int) -> None:
         """RET at watermark: persist the oldest release, off-path."""
+        if self.obs is not None:
+            self.obs.observe("lrp.ret_occupancy", len(self._ret[core]))
         while len(self._ret[core]) >= self.config.ret_watermark:
             self.stats_ret_watermark_drains += 1
+            if self.obs is not None:
+                self.obs.count("lrp.ret_watermark_drains")
             oldest_addr = next(iter(self._ret[core]))
             oldest_line = self._pending[core].get(oldest_addr)
             if oldest_line is None or not oldest_line.is_released:

@@ -108,6 +108,9 @@ class SBMechanism(PersistencyMechanism):
         durable when it completes.
         """
         self.stats[core].barrier_count += 1
+        if self.obs is not None:
+            self.obs.count("sb.barriers")
+            self.obs.observe("sb.barrier_lines", len(self._pending[core]))
         records = []
         for line in list(self._pending[core].values()):
             records.append(self._issue_line(core, line, now))

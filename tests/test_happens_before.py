@@ -188,6 +188,7 @@ class TestQueries:
         assert hb_of(trace).validate_read_values() == []
 
 
+@pytest.mark.slow
 class TestHbProperties:
     @st.composite
     def random_trace(draw):

@@ -38,6 +38,7 @@ class TestConcurrentFinalState:
 
 
 @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.slow
 class TestConcurrentStructuralValidity:
     def test_volatile_structure_valid_after_run(self, workload):
         result = simulate(_spec(workload, seed=11), mechanism="nop",

@@ -1,0 +1,87 @@
+"""Unit tests for the experiment progress reporter."""
+
+import io
+import os
+
+from repro.exp.progress import NullProgress, ProgressReporter
+
+
+def _lines(stream):
+    """The \\r-separated progress frames written so far."""
+    return stream.getvalue().split("\r")[1:]
+
+
+class TestWidthClipping:
+    def test_fallback_width_without_terminal(self):
+        # StringIO has no usable fileno(): the reporter must fall back
+        # to 80 columns and keep one column free.
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream)
+        reporter.start(5, "label")
+        reporter.job_done("x" * 200, cached=False)
+        for frame in _lines(stream):
+            assert len(frame) == 79
+
+    def test_clips_to_detected_terminal_width(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "get_terminal_size",
+            lambda fd=None: os.terminal_size((40, 24)))
+
+        class FakeTty(io.StringIO):
+            def fileno(self):
+                return 2
+
+        stream = FakeTty()
+        reporter = ProgressReporter(stream)
+        reporter.start(3)
+        reporter.job_done("hashmap/lrp/t32-with-a-very-long-label",
+                          cached=True)
+        for frame in _lines(stream):
+            assert len(frame) == 39
+
+    def test_short_line_padded_to_clear_previous(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream)
+        reporter.start(2)
+        reporter.job_done("a-much-longer-label-than-the-next", cached=False)
+        reporter.job_done("b", cached=False)
+        frames = _lines(stream)
+        # Equal-width frames: the shorter line fully overwrites leftovers.
+        assert len(set(len(frame) for frame in frames)) == 1
+
+    def test_degenerate_width_still_emits(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "get_terminal_size",
+            lambda fd=None: os.terminal_size((1, 24)))
+
+        class FakeTty(io.StringIO):
+            def fileno(self):
+                return 2
+
+        stream = FakeTty()
+        reporter = ProgressReporter(stream)
+        reporter.start(1)
+        reporter.job_done("x", cached=False)
+        for frame in _lines(stream):
+            assert len(frame) == 1
+
+
+class TestReporting:
+    def test_counts_and_finish(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream)
+        reporter.start(2, "fig5")
+        reporter.job_done("a", cached=True)
+        reporter.job_done("b", cached=False)
+        reporter.finish()
+        out = stream.getvalue()
+        assert "[exp: fig5] 2/2" in out
+        assert "(1 cached)" in out
+        assert "done in" in out
+        assert out.endswith("\n")
+
+    def test_null_progress_is_silent_noop(self):
+        progress = NullProgress()
+        progress.start(10, "x")
+        progress.job_done("y", cached=True)
+        progress.finish()

@@ -60,6 +60,7 @@ class TestRPMechanismsRecover:
         ]
 
 
+@pytest.mark.slow
 class TestWeakMechanismsViolate:
     @pytest.mark.parametrize("mechanism", ["nop", "arp"])
     def test_violations_exist_somewhere(self, mechanism):
@@ -102,6 +103,7 @@ class TestCampaignAPI:
         assert result.structure.validate_image(image).ok
 
 
+@pytest.mark.slow
 class TestValidatorSensitivity:
     """The validators must actually detect the Figure 1 failure modes."""
 

@@ -1,5 +1,7 @@
 """Unit tests for repro.common.stats."""
 
+import pytest
+
 from repro.common.stats import CoreStats, RunStats, merge_core_stats
 
 
@@ -59,14 +61,20 @@ class TestRunStats:
         assert slow.overhead_vs(fast) == 0.5
         assert fast.overhead_vs(fast) == 0.0
 
-    def test_overhead_vs_zero_baseline(self):
+    def test_overhead_vs_zero_baseline_raises(self):
         base = RunStats("nop", "hashmap", 0, [])
-        assert self._run([10]).overhead_vs(base) == 0.0
+        with pytest.raises(ValueError, match="zero-cycle baseline"):
+            self._run([10]).overhead_vs(base)
 
     def test_normalized_to(self):
         fast = self._run([100])
         slow = self._run([130])
         assert abs(slow.normalized_to(fast) - 1.3) < 1e-12
+
+    def test_normalized_to_zero_baseline_raises(self):
+        base = RunStats("nop", "hashmap", 0, [])
+        with pytest.raises(ValueError, match="zero-cycle baseline"):
+            self._run([10]).normalized_to(base)
 
     def test_summary_keys(self):
         summary = self._run([10]).summary()
@@ -74,6 +82,16 @@ class TestRunStats:
                     "persists", "writebacks", "critical_wb_frac",
                     "persist_stalls"):
             assert key in summary
+
+    def test_summary_value_types(self):
+        # The summary mixes strings and numbers (the annotation says
+        # Dict[str, object], not Dict[str, float]).
+        summary = self._run([10]).summary()
+        assert isinstance(summary["mechanism"], str)
+        assert isinstance(summary["workload"], str)
+        for key in ("threads", "cycles", "ops", "persists",
+                    "writebacks", "critical_wb_frac", "persist_stalls"):
+            assert isinstance(summary[key], (int, float)), key
 
 
 class TestMerge:
@@ -89,6 +107,26 @@ class TestMerge:
         merged = merge_core_stats([])
         assert merged.reads == 0
         assert merged.cycles == 0
+        assert merged.stall_reasons == {}
+
+    def test_merge_empty_iterable_not_just_list(self):
+        merged = merge_core_stats(iter(()))
+        assert merged.core_id == -1
+        assert merged.persist_stall_cycles == 0
+
+    def test_merge_accepts_generator(self):
+        merged = merge_core_stats(
+            _core(i, reads=2, cycles=i * 5) for i in range(3))
+        assert merged.reads == 6
+        assert merged.cycles == 10
+
+    def test_merge_does_not_mutate_or_alias_inputs(self):
+        a = _core(0, reads=1)
+        a.stall_reasons = {"barrier": 4}
+        merged = merge_core_stats([a])
+        merged.stall_reasons["barrier"] += 1
+        assert a.reads == 1
+        assert a.stall_reasons == {"barrier": 4}
 
 
 class TestStallBreakdown:
@@ -103,6 +141,19 @@ class TestStallBreakdown:
     def test_breakdown_empty(self):
         run = RunStats("nop", "hashmap", 1, [_core(0)])
         assert run.stall_breakdown() == {}
+
+    def test_breakdown_no_cores(self):
+        run = RunStats("nop", "hashmap", 0, [])
+        assert run.stall_breakdown() == {}
+
+    def test_breakdown_matches_persist_stall_total(self):
+        a = _core(0, persist_stall_cycles=105)
+        a.stall_reasons = {"barrier": 100, "eviction": 5}
+        b = _core(1, persist_stall_cycles=50)
+        b.stall_reasons = {"barrier": 50}
+        run = RunStats("sb", "hashmap", 2, [a, b])
+        assert (sum(run.stall_breakdown().values())
+                == run.persist_stall_cycles == 155)
 
     def test_merge_includes_reasons(self):
         a = _core(0)
