@@ -1,10 +1,19 @@
 # Developer entry points. Everything runs from the repo root with the
 # src/ layout on PYTHONPATH; no install step required.
+#
+#   make test          - full tier-1 suite
+#   make smoke         - fast suite (skips @slow)
+#   make selftest      - runner + obs end-to-end self-tests
+#   make figures       - regenerate the paper figures (quick scale)
+#   make trace         - example Chrome/Perfetto trace
+#   make bench-report  - benchmark dashboard vs stored baselines
+#                        (exits nonzero on regression)
+#   make clean         - remove caches and generated artifacts
 
 PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
-.PHONY: test smoke selftest figures trace clean
+.PHONY: test smoke selftest figures trace bench-report clean
 
 # Full tier-1 suite (what CI gates on).
 test:
@@ -30,6 +39,14 @@ figures:
 trace:
 	$(PY) -m repro.obs trace lrp-trace.json --mechanism lrp
 
+# Cross-run benchmark regression dashboard: refresh the runner
+# snapshot, compare every BENCH_*.json against benchmarks/baselines/,
+# write BENCH_REPORT.md, and fail on regression.
+bench-report:
+	$(PY) -m repro.exp --selftest --quiet --obs
+	$(PY) -m repro.bench.history --output BENCH_REPORT.md
+
 clean:
-	rm -rf .pytest_cache BENCH_runner.json lrp-trace.json
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	rm -f BENCH_runner.json BENCH_REPORT.md lrp-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

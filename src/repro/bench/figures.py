@@ -466,7 +466,9 @@ def run_recovery_matrix(*, workloads: Optional[Sequence[str]] = None,
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     import argparse
+    import json
     import os
+    import time
 
     from repro.exp.runner import make_runner, set_default_runner
 
@@ -494,6 +496,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--trace-out", default=None, metavar="DIR",
                         help="write one Chrome trace-event JSON per "
                              "figure run into DIR (implies --obs)")
+    parser.add_argument("--timings-out", default=None, metavar="FILE",
+                        help="write per-figure wall times (and the "
+                             "deterministic Figure 5 makespans) as a "
+                             "BENCH snapshot for repro.bench.history")
     args = parser.parse_args(argv)
     wanted = set(args.figures or
                  ["fig5", "fig6", "fig7", "fig8", "size", "ret",
@@ -507,11 +513,20 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     set_default_runner(runner)
 
     traced: List[RunSummary] = []
+    figure_timings: Dict[str, Dict[str, float]] = {}
+
+    def timed(name: str, run):
+        start = time.perf_counter()
+        result = run()
+        figure_timings[name] = {
+            "seconds": round(time.perf_counter() - start, 3)
+        }
+        return result
 
     fig5 = None
     if wanted & {"fig5", "fig6"}:
-        fig5 = run_figure5(scale=args.scale, collect_obs=obs,
-                           collect_trace=trace)
+        fig5 = timed("fig5", lambda: run_figure5(
+            scale=args.scale, collect_obs=obs, collect_trace=trace))
         if "fig5" in wanted:
             print(fig5.render())
             print(f"\nmean improvement BB over SB: "
@@ -523,17 +538,17 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         if obs:
             traced.extend(fig5.all_summaries())
     if "fig6" in wanted:
-        print(run_figure6(fig5).render(), "\n")
+        print(timed("fig6", lambda: run_figure6(fig5)).render(), "\n")
     if "fig7" in wanted:
-        fig7 = run_figure7(scale=args.scale, collect_obs=obs,
-                           collect_trace=trace)
+        fig7 = timed("fig7", lambda: run_figure7(
+            scale=args.scale, collect_obs=obs, collect_trace=trace))
         print(fig7.render(), "\n")
         if obs:
             print(fig7.render_attribution(), "\n")
             traced.extend(fig7.all_summaries())
     if "fig8" in wanted:
-        fig8 = run_figure8(scale=args.scale, collect_obs=obs,
-                           collect_trace=trace)
+        fig8 = timed("fig8", lambda: run_figure8(
+            scale=args.scale, collect_obs=obs, collect_trace=trace))
         print(fig8.render(), "\n")
         if obs and fig8.summaries:
             from repro.obs.report import render_summaries
@@ -544,11 +559,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 "\n")
             traced.extend(fig8.summaries)
     if "size" in wanted:
-        print(run_size_sensitivity().render(), "\n")
+        print(timed("size", run_size_sensitivity).render(), "\n")
     if "ret" in wanted:
-        print(run_ret_ablation().render(), "\n")
+        print(timed("ret", run_ret_ablation).render(), "\n")
     if "recovery" in wanted:
-        print(run_recovery_matrix().render())
+        print(timed("recovery", run_recovery_matrix).render())
 
     if trace and traced:
         from repro.obs.trace import dump_summary_traces
@@ -556,6 +571,28 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         written = dump_summary_traces(traced, args.trace_out)
         print(f"\nwrote {len(written)} Chrome trace files to "
               f"{args.trace_out}/")
+
+    if args.timings_out:
+        snapshot: Dict[str, object] = {
+            "scale": args.scale,
+            "jobs": jobs,
+            "cached": not args.no_cache,
+            "figures": figure_timings,
+        }
+        if fig5 is not None:
+            # Deterministic anchors: the history gate flags *any*
+            # makespan change, not just wall-clock noise.
+            snapshot["fig5_makespan"] = {
+                workload: {
+                    mech: fig5.results[workload][mech].makespan
+                    for mech in ["nop"] + fig5.mechanisms
+                }
+                for workload in fig5.workloads
+            }
+        with open(args.timings_out, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote figure timings to {args.timings_out}")
 
 
 if __name__ == "__main__":

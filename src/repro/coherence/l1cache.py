@@ -20,6 +20,7 @@ import dataclasses
 import enum
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
+from repro.common.compat import DATACLASS_SLOTS
 from repro.common.params import MachineConfig
 
 if TYPE_CHECKING:
@@ -44,7 +45,7 @@ SHARED = MESIState.SHARED
 INVALID = MESIState.INVALID
 
 
-@dataclasses.dataclass(slots=True)
+@dataclasses.dataclass(**DATACLASS_SLOTS)
 class CacheLine:
     """One L1 cache line (tag + coherence + persistency metadata)."""
 

@@ -1,0 +1,18 @@
+"""Small Python-version compatibility helpers.
+
+The simulator supports Python 3.9+ (CI exercises 3.9 and 3.12).
+``dataclass(slots=True)`` arrived in 3.10; the hot-path dataclasses
+splat :data:`DATACLASS_SLOTS` instead so 3.9 still imports — it only
+loses the slots memory/attribute-lookup optimization, not behavior.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+#: ``{"slots": True}`` where supported, else empty. Usage:
+#: ``@dataclasses.dataclass(frozen=True, **DATACLASS_SLOTS)``.
+DATACLASS_SLOTS: Dict[str, Any] = (
+    {"slots": True} if sys.version_info >= (3, 10) else {}
+)

@@ -24,6 +24,8 @@ import dataclasses
 import enum
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.compat import DATACLASS_SLOTS
+
 Word = Optional[int]
 
 
@@ -50,7 +52,7 @@ class EventKind(enum.Enum):
     RMW = "rmw"  # compare-and-swap / fetch-op (read + conditional write)
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
+@dataclasses.dataclass(frozen=True, **DATACLASS_SLOTS)
 class MemoryEvent:
     """One executed memory operation.
 

@@ -96,6 +96,7 @@ class Machine:
                 obs.count("coh.downgrades")
                 if dg.had_pending:
                     obs.count("coh.downgrades_dirty")
+                obs.tick("coh.downgrades", now + latency)
                 obs.instant(f"core{core}", f"downgrade c{dg.owner}",
                             now + latency, cat="coherence")
             latency += self.mechanism.on_downgrade(
@@ -113,6 +114,7 @@ class Machine:
                 obs.count("coh.evictions")
                 if ev.had_pending:
                     obs.count("coh.evictions_dirty")
+                obs.tick("coh.evictions", now + latency)
                 obs.instant(f"core{core}", "evict", now + latency,
                             cat="coherence")
             latency += self.mechanism.on_evict(core, ev.line, now + latency)

@@ -100,9 +100,13 @@ class Scheduler:
                 if op.kind is _WORK:
                     obs.count(f"sched.compute_cycles.c{tid}",
                               latency + compute)
+                    obs.tick(f"compute.c{tid}", thread.clock,
+                             latency + compute)
                 else:
                     obs.count(f"sched.compute_cycles.c{tid}", compute)
                     obs.count(f"sched.mem_cycles.c{tid}", latency)
+                    obs.tick(f"compute.c{tid}", thread.clock, compute)
+                    obs.tick(f"mem.c{tid}", thread.clock, latency)
                 obs.span(f"core{tid}", op.kind.name, thread.clock,
                          latency + compute, cat="op")
             thread.clock += latency + compute

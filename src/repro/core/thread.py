@@ -25,6 +25,7 @@ import dataclasses
 import enum
 from typing import Optional
 
+from repro.common.compat import DATACLASS_SLOTS
 from repro.consistency.events import MemOrder
 
 Word = Optional[int]
@@ -38,7 +39,7 @@ class OpKind(enum.Enum):
     WORK = "work"       # pure compute: consumes cycles, touches nothing
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
+@dataclasses.dataclass(frozen=True, **DATACLASS_SLOTS)
 class Op:
     """One operation yielded by workload code to the scheduler."""
 

@@ -55,6 +55,9 @@ class Job:
     # events) back in ``RunSummary.obs``. Never affects timing.
     collect_obs: bool = False
     collect_trace: bool = False
+    # Cycle width of the obs timeline windows; None leaves time-series
+    # sampling off (setting it implies obs collection).
+    timeline_interval: Optional[int] = None
 
     def key(self) -> str:
         """Content-addressed cache key (includes the code version)."""
@@ -133,10 +136,11 @@ def summarize(result: SimulationResult) -> RunSummary:
 def execute_job(job: Job) -> RunSummary:
     """Run one job to completion (the worker-process entry point)."""
     observer = None
-    if job.collect_obs or job.collect_trace:
+    if job.collect_obs or job.collect_trace or job.timeline_interval:
         from repro.obs import Observer
 
-        observer = Observer(trace=job.collect_trace)
+        observer = Observer(trace=job.collect_trace,
+                            timeline_interval=job.timeline_interval)
     result = simulate(job.spec, job.mechanism, job.config,
                       observer=observer)
     summary = summarize(result)

@@ -9,14 +9,19 @@ The subsystem has three layers:
 * a :class:`~repro.obs.metrics.MetricsRegistry` of counters/histograms
   that serializes into :class:`~repro.exp.runner.RunSummary` and thus
   travels through worker processes and the result cache for free;
+* a :class:`~repro.obs.timeline.TimelineSampler` (opt-in via
+  ``timeline_interval``) that attributes the same quantities to fixed
+  cycle windows — the time axis behind ``python -m repro.obs
+  timeline`` and the Chrome counter tracks;
 * exporters — a Chrome trace-event JSON writer
   (:mod:`repro.obs.trace`) and the critical-path attribution report
   (:mod:`repro.obs.report`) that splits a run's makespan into
   compute / coherence / persist-stall segments.
 
-``python -m repro.obs`` exposes ``trace`` / ``report`` subcommands and
-``--selftest``; the ``repro.exp`` and ``repro.bench.figures`` CLIs
-collect the same data behind ``--obs`` / ``--trace-out``.
+``python -m repro.obs`` exposes ``trace`` / ``report`` / ``timeline``
+/ ``audit`` subcommands and ``--selftest``; the ``repro.exp`` and
+``repro.bench.figures`` CLIs collect the same data behind ``--obs`` /
+``--trace-out``.
 """
 
 from __future__ import annotations
@@ -24,14 +29,21 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.obs.metrics import Histogram, MetricsRegistry, merged_registries
+from repro.obs.timeline import (
+    TimelineSampler,
+    chrome_counter_events,
+    merged_timelines,
+)
 from repro.obs.trace import TraceCollector, write_chrome_trace
 
 __all__ = [
     "Observer",
     "Histogram",
     "MetricsRegistry",
+    "TimelineSampler",
     "TraceCollector",
     "merged_registries",
+    "merged_timelines",
     "write_chrome_trace",
 ]
 
@@ -47,12 +59,16 @@ class Observer:
     ``tests/test_obs.py``).
     """
 
-    __slots__ = ("metrics", "trace")
+    __slots__ = ("metrics", "trace", "timeline")
 
-    def __init__(self, *, trace: bool = False) -> None:
+    def __init__(self, *, trace: bool = False,
+                 timeline_interval: Optional[int] = None) -> None:
         self.metrics = MetricsRegistry()
         self.trace: Optional[TraceCollector] = (
             TraceCollector() if trace else None)
+        self.timeline: Optional[TimelineSampler] = (
+            TimelineSampler(timeline_interval)
+            if timeline_interval is not None else None)
 
     # -- metrics -------------------------------------------------------
 
@@ -62,6 +78,16 @@ class Observer:
 
     def observe(self, name: str, value: int) -> None:
         self.metrics.observe(name, value)
+
+    # -- timeline (no-ops unless a sampling interval was requested) ----
+
+    def tick(self, name: str, ts: int, value: int = 1) -> None:
+        if self.timeline is not None:
+            self.timeline.tick(name, ts, value)
+
+    def gauge(self, name: str, ts: int, value: int) -> None:
+        if self.timeline is not None:
+            self.timeline.gauge(name, ts, value)
 
     # -- tracing (no-ops unless trace collection was requested) --------
 
@@ -78,8 +104,15 @@ class Observer:
     # -- export --------------------------------------------------------
 
     def export(self) -> Dict[str, object]:
-        """Picklable dump: metrics always, trace events when collected."""
+        """Picklable dump: metrics always, timeline series and trace
+        events when collected. With both a trace and a timeline, the
+        timeline additionally rides in the trace as counter tracks."""
         data: Dict[str, object] = {"metrics": self.metrics.to_dict()}
+        if self.timeline is not None:
+            data["timeline"] = self.timeline.to_dict()
         if self.trace is not None:
-            data["trace_events"] = self.trace.chrome_events()
+            events = self.trace.chrome_events()
+            if self.timeline is not None:
+                events = events + chrome_counter_events(self.timeline)
+            data["trace_events"] = events
         return data

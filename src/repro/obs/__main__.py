@@ -7,10 +7,21 @@ Subcommands:
 * ``report`` — run one workload under several mechanisms and print the
   critical-path attribution report (the textual explanation of the
   paper's Figures 5-8: where each mechanism's makespan goes);
+* ``timeline`` — run with cycle-windowed sampling and render the
+  per-window compute/coherence/stall shares, queue depths and NVM
+  bandwidth as ASCII sparklines (``--csv`` for the raw series,
+  ``--trace-out`` for Perfetto counter tracks);
+* ``audit`` — re-verify the persist order and consistent-cut
+  guarantees of a finished run against the RP model (zero violations
+  expected for the enforcing mechanisms, nonzero for nop/ARP);
 * ``--selftest`` — end-to-end check on a tiny workload: obs hooks
   disabled vs. enabled yield bit-identical runs, the trace export
-  round-trips through ``json`` with monotone per-track timestamps, and
-  the attribution reconciles exactly with ``RunStats``.
+  round-trips through ``json`` with monotone per-track timestamps, the
+  attribution reconciles exactly with ``RunStats``, and the timeline's
+  window sums reconcile with the aggregate counters.
+
+CLI failures (unknown mechanism, unwritable output path, export
+without the requested data) exit 1 with a one-line diagnostic.
 """
 
 from __future__ import annotations
@@ -23,14 +34,22 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.common.params import MachineConfig, NVMMode
 from repro.core.simulator import SimulationResult, simulate
-from repro.obs import Observer, write_chrome_trace
+from repro.obs import (
+    Observer,
+    TimelineSampler,
+    write_chrome_trace,
+)
 from repro.obs.report import (
     attribute_run,
     render_attribution,
 )
+from repro.obs.timeline import render_timeline, write_timeline_csv
 from repro.workloads.harness import WorkloadSpec
 
 SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+#: Window width (cycles) used when the user does not pass --interval.
+DEFAULT_TIMELINE_INTERVAL = 1000
 
 
 def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
@@ -47,16 +66,19 @@ def _config_from_args(args: argparse.Namespace) -> MachineConfig:
 
 
 def _observed_run(spec: WorkloadSpec, mechanism: str,
-                  config: MachineConfig, *, trace: bool
+                  config: MachineConfig, *, trace: bool,
+                  timeline_interval: Optional[int] = None
                   ) -> Tuple[SimulationResult, Observer]:
-    observer = Observer(trace=trace)
+    observer = Observer(trace=trace, timeline_interval=timeline_interval)
     result = simulate(spec, mechanism, config, observer=observer)
     return result, observer
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workload", default="hashmap",
-                        help="LFD to run (default: %(default)s)")
+def _add_workload_args(parser: argparse.ArgumentParser,
+                       single_workload: bool = True) -> None:
+    if single_workload:
+        parser.add_argument("--workload", default="hashmap",
+                            help="LFD to run (default: %(default)s)")
     parser.add_argument("--threads", type=int, default=8)
     parser.add_argument("--size", type=int, default=256,
                         help="initial structure size")
@@ -101,6 +123,82 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    if args.from_export:
+        with open(args.from_export) as handle:
+            document = json.load(handle)
+        timeline_data = document.get("timeline")
+        if timeline_data is None:
+            raise ValueError(
+                f"{args.from_export}: export carries no timeline series "
+                f"(re-run with a timeline interval, e.g. "
+                f"'python -m repro.obs timeline --export-out ...')")
+        sampler = TimelineSampler.from_dict(timeline_data)
+        title = f"Timeline re-rendered from {args.from_export}"
+    else:
+        spec = _spec_from_args(args)
+        config = _config_from_args(args)
+        result, observer = _observed_run(
+            spec, args.mechanism, config,
+            trace=args.trace_out is not None,
+            timeline_interval=args.interval)
+        sampler = observer.timeline
+        assert sampler is not None
+        title = (f"Timeline: {spec.structure}/{args.mechanism}, "
+                 f"{spec.num_threads} threads, "
+                 f"makespan {result.makespan} cycles")
+        if args.export_out:
+            with open(args.export_out, "w") as handle:
+                json.dump(observer.export(), handle)
+            print(f"wrote observer export to {args.export_out}")
+        if args.trace_out:
+            # export() appends the counter tracks to the span events.
+            events = observer.export()["trace_events"]
+            write_chrome_trace(events, args.trace_out)
+            print(f"wrote {len(events)} trace events (incl. counter "
+                  f"tracks) to {args.trace_out}")
+    print(render_timeline(sampler, title=title, width=args.width))
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            rows = write_timeline_csv(sampler, handle)
+        print(f"wrote {rows} windows x {len(sampler.names())} series "
+              f"to {args.csv}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs.audit import audit_simulation
+
+    config = _config_from_args(args)
+    print(f"Persist-order audit: mechanism={args.mechanism}, "
+          f"{args.threads} threads, {args.ops} ops/thread, "
+          f"{args.cuts} crash cuts per run")
+    failed = False
+    dirty = False
+    for workload in args.workloads:
+        spec = WorkloadSpec(structure=workload, num_threads=args.threads,
+                            initial_size=args.size,
+                            ops_per_thread=args.ops, seed=args.seed)
+        result = simulate(spec, args.mechanism, config)
+        report = audit_simulation(result, cut_samples=args.cuts,
+                                  cut_seed=args.seed)
+        print(f"[audit] {report.summary()}")
+        if not report.clean:
+            dirty = True
+            for line in report.detail_lines(args.detail):
+                print(line)
+        failed = failed or report.failed
+    if failed:
+        print("[audit] FAILED: an RP-enforcing mechanism violated the "
+              "persist order")
+        return 1
+    if dirty and args.strict:
+        print("[audit] FAILED (--strict): violations found")
+        return 1
+    print("[audit] PASSED")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Self-test
 # ----------------------------------------------------------------------
@@ -128,17 +226,21 @@ def run_selftest(verbose: bool = True) -> bool:
     spec = WorkloadSpec(structure="hashmap", num_threads=4,
                         initial_size=64, ops_per_thread=12, seed=1)
     config = MachineConfig(num_cores=4)
+    interval = 500
     ok = True
     for mechanism in SELFTEST_MECHANISMS:
         plain = simulate(spec, mechanism, config)
         observed, observer = _observed_run(spec, mechanism, config,
-                                           trace=True)
+                                           trace=True,
+                                           timeline_interval=interval)
 
         identical = (plain.makespan == observed.makespan
                      and plain.stats.summary() == observed.stats.summary())
 
         with tempfile.NamedTemporaryFile("w+", suffix=".json") as tmp:
-            write_chrome_trace(observer.trace.chrome_events(), tmp)
+            # export() merges the timeline counter tracks into the span
+            # events, so the monotonicity check covers both.
+            write_chrome_trace(observer.export()["trace_events"], tmp)
             tmp.flush()
             tmp.seek(0)
             document = json.load(tmp)
@@ -155,20 +257,44 @@ def run_selftest(verbose: bool = True) -> bool:
                    and critical.total == observed.makespan
                    and all(c.coherence >= 0 for c in attribution.cores))
 
+        # The timeline's window sums must reconcile exactly with the
+        # aggregate counters/stats over the same run.
+        timeline = observer.timeline
+        counters = observer.metrics.counters
+        tl_compute = all(
+            sum(timeline.dense(f"compute.c{core}"))
+            == counters.get(f"sched.compute_cycles.c{core}", 0)
+            for core in range(config.num_cores))
+        tl_stall = (sum(sum(timeline.dense(name))
+                        for name in timeline.names()
+                        if name.startswith("stall.c"))
+                    == observed.stats.persist_stall_cycles)
+        tl_nvm = (sum(sum(timeline.dense(name))
+                      for name in timeline.names()
+                      if name.startswith("nvm.lines.ch"))
+                  == counters.get("persist.lines", 0))
+        tl_reconciles = tl_compute and tl_stall and tl_nvm
+
         # The obs path must also compose with the runner/cache layer.
         summary = execute_job(Job(spec=spec, mechanism=mechanism,
-                                  config=config, collect_obs=True))
+                                  config=config, collect_obs=True,
+                                  timeline_interval=interval))
         carried = (summary.obs is not None
                    and summary.obs["metrics"]["counters"]
-                   == observer.metrics.counters)
+                   == observer.metrics.counters
+                   and summary.obs.get("timeline")
+                   == timeline.to_dict())
 
-        passed = identical and reconciles and adds_up and carried
+        passed = (identical and reconciles and adds_up
+                  and tl_reconciles and carried)
         ok = ok and passed
         if verbose:
             print(f"[obs-selftest] {mechanism:4s}  "
                   f"identical={identical}  trace_events={len(events)}  "
                   f"stall_reconciled={reconciles}  "
-                  f"segments_add_up={adds_up}  summary_carries={carried}")
+                  f"segments_add_up={adds_up}  "
+                  f"timeline_reconciled={tl_reconciles}  "
+                  f"summary_carries={carried}")
     if verbose:
         print(f"[obs-selftest] {'PASSED' if ok else 'FAILED'}")
     return ok
@@ -196,13 +322,73 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                default=list(SELFTEST_MECHANISMS))
     _add_workload_args(report_parser)
 
+    timeline_parser = subparsers.add_parser(
+        "timeline",
+        help="cycle-windowed telemetry as sparklines / CSV / counters")
+    timeline_parser.add_argument("--mechanism", default="lrp")
+    timeline_parser.add_argument(
+        "--interval", type=int, default=DEFAULT_TIMELINE_INTERVAL,
+        help="window width in cycles (default: %(default)s)")
+    timeline_parser.add_argument(
+        "--width", type=int, default=72,
+        help="sparkline width in characters (default: %(default)s)")
+    timeline_parser.add_argument(
+        "--csv", metavar="FILE",
+        help="also dump every raw series as CSV")
+    timeline_parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="also export a Chrome trace with counter tracks")
+    timeline_parser.add_argument(
+        "--export-out", metavar="FILE",
+        help="also dump the full observer export as JSON")
+    timeline_parser.add_argument(
+        "--from-export", metavar="FILE",
+        help="re-render the timeline of a saved --export-out file "
+             "instead of running a simulation")
+    _add_workload_args(timeline_parser)
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help="re-verify persist order / consistent cuts against the "
+             "RP model")
+    audit_parser.add_argument("--mechanism", default="lrp")
+    audit_parser.add_argument(
+        "--workloads", nargs="+", metavar="LFD",
+        help="workloads to audit (default: all five)")
+    audit_parser.add_argument(
+        "--cuts", type=int, default=8,
+        help="crash cuts sampled per run (default: %(default)s)")
+    audit_parser.add_argument(
+        "--detail", type=int, default=5,
+        help="violation provenance lines shown per run "
+             "(default: %(default)s)")
+    audit_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on any violation, even for mechanisms "
+             "without an RP guarantee (nop/arp)")
+    _add_workload_args(audit_parser, single_workload=False)
+
     args = parser.parse_args(argv)
-    if args.selftest:
-        return 0 if run_selftest() else 1
-    if args.command == "trace":
-        return cmd_trace(args)
-    if args.command == "report":
-        return cmd_report(args)
+    if args.command == "audit" and args.workloads is None:
+        from repro.lfds import WORKLOAD_NAMES
+        args.workloads = list(WORKLOAD_NAMES)
+    try:
+        if args.selftest:
+            return 0 if run_selftest() else 1
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "report":
+            return cmd_report(args)
+        if args.command == "timeline":
+            return cmd_timeline(args)
+        if args.command == "audit":
+            return cmd_audit(args)
+    except (ValueError, OSError) as exc:
+        # Operator errors (unknown mechanism/workload, unwritable or
+        # missing file, export without the requested data) get a
+        # one-line diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     parser.print_help()
     return 2
 

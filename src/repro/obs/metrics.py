@@ -24,11 +24,13 @@ class Histogram:
 
     Bucket ``k`` counts observations ``v`` with
     ``2**(k-1) < v <= 2**k`` (bucket 0 counts ``v <= 1``); negative
-    values are clamped into bucket 0. Alongside the buckets the exact
-    count / sum / min / max are tracked, so means are not quantized.
+    values are clamped into bucket 0, and ``clamped`` counts how often
+    that happened — a silently-clamping histogram would hide sign bugs
+    in instrumentation. Alongside the buckets the exact count / sum /
+    min / max are tracked, so means are not quantized.
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "clamped")
 
     def __init__(self) -> None:
         self.count = 0
@@ -36,6 +38,7 @@ class Histogram:
         self.min: Optional[int] = None
         self.max: Optional[int] = None
         self.buckets: Dict[int, int] = {}
+        self.clamped = 0
 
     def observe(self, value: int) -> None:
         self.count += 1
@@ -44,6 +47,8 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value < 0:
+            self.clamped += 1
         bucket = max(0, int(value) - 1).bit_length() if value > 1 else 0
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
@@ -58,6 +63,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "clamped": self.clamped,
         }
 
     @classmethod
@@ -69,11 +75,14 @@ class Histogram:
         hist.max = data["max"]                   # type: ignore[assignment]
         hist.buckets = {int(k): int(v)
                         for k, v in data["buckets"].items()}  # type: ignore
+        # Absent in exports from before the field existed.
+        hist.clamped = int(data.get("clamped", 0))  # type: ignore[arg-type]
         return hist
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total
+        self.clamped += other.clamped
         if other.min is not None and (self.min is None or other.min < self.min):
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):

@@ -1,0 +1,348 @@
+"""Cycle-windowed time-series telemetry (the obs timeline).
+
+The aggregate metrics of :mod:`repro.obs.metrics` answer *how much* of
+a run went where; the paper's argument is also about *when* — LRP wins
+because persist stalls are moved off the critical path over time, not
+merely reduced in total. The :class:`TimelineSampler` adds that time
+axis: instrumented components attribute quantities to fixed-width
+cycle windows (``window = ts // interval``), producing per-window
+series such as
+
+* ``compute.c<i>`` / ``mem.c<i>`` / ``stall.c<i>`` — per-core cycles
+  spent computing, in the memory system, and blocked on persist acks
+  (coherence time is derived as ``mem - stall``);
+* ``pqdepth.c<i>`` — persist-queue depth (in-flight line persists of
+  core *i*'s writes), sampled as a per-window maximum;
+* ``lrp.ret.c<i>`` — LRP Release Epoch Table occupancy (max);
+* ``bb.epoch_drains.c<i>`` / ``lrp.engine.c<i>`` — epoch-drain /
+  persist-engine invocations per window;
+* ``nvm.lines.ch<j>`` — line persists issued per NVM channel per
+  window (multiply by the line size for write bandwidth).
+
+Like the metrics registry, the sampler serializes to plain dicts of
+ints (losslessly picklable into a
+:class:`~repro.exp.runner.RunSummary`, so it travels through worker
+processes and the result cache) and merges across runs of a sweep.
+Sampling is **off by default**: the ``Observer`` only creates a
+sampler when given a ``timeline_interval``, and every hook site is
+guarded, so disabled runs pay nothing and enabled runs are
+bit-identical (the hooks only read simulator state).
+
+Rendering: ASCII sparklines (:func:`render_timeline`), CSV export
+(:func:`write_timeline_csv`), and Chrome trace-event *counter* tracks
+(:func:`chrome_counter_events`) that Perfetto draws as stacked series
+alongside the op spans of :mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
+
+#: Eight-level block characters used by the sparkline renderer.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: (series prefix, human label, kind) for the standard display groups.
+#: ``sum`` series accumulate per window; ``max`` series are gauges.
+DISPLAY_GROUPS: Tuple[Tuple[str, str, str], ...] = (
+    ("compute.c", "compute cycles", "sum"),
+    ("mem.c", "memory cycles", "sum"),
+    ("stall.c", "persist-stall cycles", "sum"),
+    ("pqdepth.c", "persist-queue depth (max)", "max"),
+    ("lrp.ret.c", "RET occupancy (max)", "max"),
+    ("bb.epoch_drains.c", "BB epoch drains", "sum"),
+    ("lrp.engine.c", "LRP engine runs", "sum"),
+    ("nvm.lines.ch", "NVM line persists", "sum"),
+)
+
+
+class TimelineSampler:
+    """Accumulates per-window series for one run.
+
+    Two series kinds share the flat name space of the metrics registry:
+
+    * **sum** series (:meth:`tick`) — values add up within a window
+      (cycles, event counts);
+    * **max** series (:meth:`gauge`) — the window keeps the largest
+      sampled value (queue depths, table occupancies).
+
+    Windows are sparse dicts ``{window index: value}``; untouched
+    windows are implicitly zero.
+    """
+
+    __slots__ = ("interval", "series", "gauges")
+
+    def __init__(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError(
+                f"timeline interval must be >= 1 cycle, got {interval}")
+        self.interval = interval
+        self.series: Dict[str, Dict[int, int]] = {}
+        self.gauges: Dict[str, Dict[int, int]] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def tick(self, name: str, ts: int, value: int = 1) -> None:
+        """Add ``value`` into the window containing cycle ``ts``."""
+        window = ts // self.interval
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = {}
+        series[window] = series.get(window, 0) + value
+
+    def gauge(self, name: str, ts: int, value: int) -> None:
+        """Record ``value`` as a per-window maximum at cycle ``ts``."""
+        window = ts // self.interval
+        series = self.gauges.get(name)
+        if series is None:
+            series = self.gauges[name] = {}
+        if value > series.get(window, -1):
+            series[window] = value
+
+    # -- reading -------------------------------------------------------
+
+    def last_window(self) -> int:
+        """Index of the latest touched window (-1 when empty)."""
+        last = -1
+        for store in (self.series, self.gauges):
+            for windows in store.values():
+                if windows:
+                    last = max(last, max(windows))
+        return last
+
+    def num_windows(self) -> int:
+        return self.last_window() + 1
+
+    def names(self) -> List[str]:
+        """All series names (sum and max), sorted."""
+        return sorted(set(self.series) | set(self.gauges))
+
+    def dense(self, name: str,
+              num_windows: Optional[int] = None) -> List[int]:
+        """The series as a zero-filled list over ``[0, num_windows)``."""
+        windows = self.series.get(name) or self.gauges.get(name) or {}
+        length = self.num_windows() if num_windows is None else num_windows
+        values = [0] * length
+        for window, value in windows.items():
+            if 0 <= window < length:
+                values[window] = value
+        return values
+
+    def grouped(self, prefix: str, kind: str = "sum",
+                num_windows: Optional[int] = None) -> List[int]:
+        """Aggregate all series sharing ``prefix`` into one dense list.
+
+        ``sum`` series add across e.g. cores; ``max`` series take the
+        per-window maximum (a fleet-wide high-water mark).
+        """
+        length = self.num_windows() if num_windows is None else num_windows
+        combined = [0] * length
+        store = self.series if kind == "sum" else self.gauges
+        for name in store:
+            if not name.startswith(prefix):
+                continue
+            for index, value in enumerate(self.dense(name, length)):
+                if kind == "sum":
+                    combined[index] += value
+                elif value > combined[index]:
+                    combined[index] = value
+        return combined
+
+    # -- (de)serialization and merging ---------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "interval": self.interval,
+            "series": {
+                name: {str(w): v for w, v in sorted(windows.items())}
+                for name, windows in sorted(self.series.items())
+            },
+            "gauges": {
+                name: {str(w): v for w, v in sorted(windows.items())}
+                for name, windows in sorted(self.gauges.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TimelineSampler":
+        sampler = cls(int(data["interval"]))  # type: ignore[arg-type]
+        for attr in ("series", "gauges"):
+            store = getattr(sampler, attr)
+            for name, windows in data.get(attr, {}).items():  # type: ignore
+                store[name] = {int(w): int(v) for w, v in windows.items()}
+        return sampler
+
+    def merge(self, other: "TimelineSampler") -> None:
+        """Fold another sampler in (sweep-level aggregation).
+
+        Both samplers must share the window width — summing windows of
+        different widths would silently misalign the time axis.
+        """
+        if other.interval != self.interval:
+            raise ValueError(
+                f"cannot merge timelines with different intervals "
+                f"({self.interval} vs {other.interval})")
+        for name, windows in other.series.items():
+            mine = self.series.setdefault(name, {})
+            for window, value in windows.items():
+                mine[window] = mine.get(window, 0) + value
+        for name, windows in other.gauges.items():
+            mine = self.gauges.setdefault(name, {})
+            for window, value in windows.items():
+                if value > mine.get(window, -1):
+                    mine[window] = value
+
+
+def merged_timelines(dicts: Iterable[Dict[str, object]]
+                     ) -> Optional[TimelineSampler]:
+    """Merge serialized samplers (e.g. from many runs of a sweep)."""
+    result: Optional[TimelineSampler] = None
+    for data in dicts:
+        sampler = TimelineSampler.from_dict(data)
+        if result is None:
+            result = sampler
+        else:
+            result.merge(sampler)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def sparkline(values: Sequence[int], width: int = 72) -> str:
+    """Eight-level block rendering of a series, downsampled to fit.
+
+    Downsampling buckets adjacent windows by *maximum* so short spikes
+    stay visible. An all-zero series renders as a flat baseline.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed: List[int] = []
+        for index in range(width):
+            lo = index * len(values) // width
+            hi = max(lo + 1, (index + 1) * len(values) // width)
+            bucketed.append(max(values[lo:hi]))
+        values = bucketed
+    peak = max(values)
+    if peak <= 0:
+        return SPARK_BLOCKS[0] * len(values)
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[0] if v <= 0
+        else SPARK_BLOCKS[1 + (v * (top - 1)) // peak]
+        for v in values)
+
+
+def coherence_series(sampler: TimelineSampler,
+                     num_windows: Optional[int] = None) -> List[int]:
+    """Per-window coherence cycles: memory time minus persist stalls.
+
+    A stall charged near a window boundary can land one window after
+    its op's memory time, so single windows may dip below zero; those
+    are clamped for display (the run-total attribution in
+    :mod:`repro.obs.report` stays exact).
+    """
+    length = sampler.num_windows() if num_windows is None else num_windows
+    mem = sampler.grouped("mem.c", "sum", length)
+    stall = sampler.grouped("stall.c", "sum", length)
+    return [max(0, m - s) for m, s in zip(mem, stall)]
+
+
+def render_timeline(sampler: TimelineSampler, *,
+                    title: Optional[str] = None,
+                    width: int = 72) -> str:
+    """Sparkline dashboard over the standard display groups."""
+    length = sampler.num_windows()
+    lines = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    lines.append(
+        f"{length} windows x {sampler.interval} cycles "
+        f"(time runs left to right)")
+    rows: List[Tuple[str, List[int]]] = []
+    for prefix, label, kind in DISPLAY_GROUPS:
+        values = sampler.grouped(prefix, kind, length)
+        if any(values):
+            rows.append((label, values))
+    coherence = coherence_series(sampler, length)
+    if any(coherence):
+        # Keep the three makespan shares adjacent in the output.
+        insert_at = next(
+            (i + 1 for i, (label, _) in enumerate(rows)
+             if label == "memory cycles"), len(rows))
+        rows.insert(insert_at, ("coherence cycles (mem-stall)", coherence))
+    if not rows:
+        lines.append("(no samples recorded)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label, _ in rows)
+    for label, values in rows:
+        lines.append(f"{label:<{label_width}}  "
+                     f"{sparkline(values, width)}  peak={max(values)}")
+    return "\n".join(lines)
+
+
+def write_timeline_csv(sampler: TimelineSampler,
+                       destination: IO[str]) -> int:
+    """Dump every raw series as CSV (one row per window); row count.
+
+    Columns: ``window``, ``start_cycle``, then every series (sum and
+    max) by name — the full per-core resolution, not the aggregated
+    display groups.
+    """
+    names = sampler.names()
+    length = sampler.num_windows()
+    columns = {name: sampler.dense(name, length) for name in names}
+    writer = csv.writer(destination)
+    writer.writerow(["window", "start_cycle"] + names)
+    for window in range(length):
+        writer.writerow([window, window * sampler.interval]
+                        + [columns[name][window] for name in names])
+    return length
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event counter tracks
+# ----------------------------------------------------------------------
+
+#: pid of the timeline counter process in exported Chrome traces (the
+#: span tracks of repro.obs.trace use pids 1-4 and 9).
+COUNTER_PID = 5
+
+
+def chrome_counter_events(sampler: TimelineSampler) -> List[dict]:
+    """Counter events (phase ``C``) for every timeline series.
+
+    Perfetto / ``chrome://tracing`` render counters as per-track area
+    charts, so stall pressure, queue depth and NVM bandwidth evolve
+    visually alongside the op spans. Metadata events name the process
+    and one thread per series; data events are emitted per touched
+    window, sorted by ``(tid, ts)`` so each track's timestamps are
+    monotone. A zero sample is appended after a series' final window so
+    counters drop back to the baseline instead of painting to infinity.
+    """
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": COUNTER_PID, "tid": 0,
+        "args": {"name": "timeline counters"},
+    }]
+    data: List[dict] = []
+    for tid, name in enumerate(sampler.names(), start=1):
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": COUNTER_PID, "tid": tid,
+                       "args": {"name": name}})
+        windows = sampler.series.get(name) or sampler.gauges.get(name) or {}
+        last = -1
+        for window in sorted(windows):
+            data.append({"name": name, "ph": "C", "cat": "timeline",
+                         "ts": window * sampler.interval,
+                         "pid": COUNTER_PID, "tid": tid,
+                         "args": {"value": windows[window]}})
+            last = window
+        if last >= 0:
+            data.append({"name": name, "ph": "C", "cat": "timeline",
+                         "ts": (last + 1) * sampler.interval,
+                         "pid": COUNTER_PID, "tid": tid,
+                         "args": {"value": 0}})
+    data.sort(key=lambda e: (e["tid"], e["ts"]))
+    return events + data

@@ -135,12 +135,15 @@ class PersistencyMechanism:
         obs = self.obs
         if obs is not None:
             duration = record.complete_time - record.issue_time
+            channel = self.nvm.channel_for(line.addr)
             obs.count("persist.lines")
             obs.observe("persist.latency", duration)
             obs.observe("persist.inflight", len(self._issued[core]))
-            obs.span(f"nvm-ch{self.nvm.channel_for(line.addr)}",
-                     f"persist c{core}", record.issue_time, duration,
-                     cat="persist")
+            obs.gauge(f"pqdepth.c{core}", record.issue_time,
+                      len(self._issued[core]))
+            obs.tick(f"nvm.lines.ch{channel}", record.issue_time)
+            obs.span(f"nvm-ch{channel}", f"persist c{core}",
+                     record.issue_time, duration, cat="persist")
         return record
 
     def _wait_for(self, waiter: int, now: int,
@@ -183,6 +186,7 @@ class PersistencyMechanism:
                 # Same value as the stats charge, so the obs stall
                 # counters reconcile with persist_stall_cycles exactly.
                 self.obs.count(f"stall.{reason}", stall)
+                self.obs.tick(f"stall.c{waiter}", now, stall)
                 self.obs.span(f"stall-c{waiter}", reason, now, stall,
                               cat="stall")
         return stall

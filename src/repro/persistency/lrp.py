@@ -249,6 +249,7 @@ class LRPMechanism(PersistencyMechanism):
             ready = max(ready, record.complete_time)
         if self.obs is not None:
             self.obs.count("lrp.engine_runs")
+            self.obs.tick(f"lrp.engine.c{core}", now)
             self.obs.observe("lrp.engine_scan_lines", scanned)
             self.obs.observe("lrp.engine_chain_persists", len(records))
             self.obs.span(f"engine-c{core}", "persist-engine", now,
@@ -275,6 +276,7 @@ class LRPMechanism(PersistencyMechanism):
         """RET at watermark: persist the oldest release, off-path."""
         if self.obs is not None:
             self.obs.observe("lrp.ret_occupancy", len(self._ret[core]))
+            self.obs.gauge(f"lrp.ret.c{core}", now, len(self._ret[core]))
         while len(self._ret[core]) >= self.config.ret_watermark:
             self.stats_ret_watermark_drains += 1
             if self.obs is not None:

@@ -181,6 +181,32 @@ class TestHistogram:
         assert restored.count == 2
         assert (restored.min, restored.max) == (3, 100)
 
+    def test_negative_values_counted_as_clamped(self):
+        hist = Histogram()
+        hist.observe(-3)
+        hist.observe(-1)
+        hist.observe(0)       # non-negative: lands in bucket 0 unclamped
+        hist.observe(5)
+        assert hist.clamped == 2
+        assert hist.buckets[0] == 3
+        assert hist.min == -3  # the exact stats keep the true value
+
+    def test_clamped_serializes_and_merges(self):
+        a, b = Histogram(), Histogram()
+        a.observe(-2)
+        b.observe(-7)
+        b.observe(4)
+        restored = Histogram.from_dict(
+            json.loads(json.dumps(a.to_dict())))
+        assert restored.clamped == 1
+        restored.merge(b)
+        assert restored.clamped == 2
+
+    def test_clamped_defaults_for_old_exports(self):
+        legacy = {"count": 1, "sum": 3, "min": 3, "max": 3,
+                  "buckets": {"2": 1}}
+        assert Histogram.from_dict(legacy).clamped == 0
+
 
 class TestRegistry:
     def test_count_observe_and_prefix_scan(self):
