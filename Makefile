@@ -1,19 +1,24 @@
 # Developer entry points. Everything runs from the repo root with the
 # src/ layout on PYTHONPATH; no install step required.
-#
-#   make test          - full tier-1 suite
-#   make smoke         - fast suite (skips @slow)
-#   make selftest      - runner + obs end-to-end self-tests
-#   make figures       - regenerate the paper figures (quick scale)
-#   make trace         - example Chrome/Perfetto trace
-#   make bench-report  - benchmark dashboard vs stored baselines
-#                        (exits nonzero on regression)
-#   make clean         - remove caches and generated artifacts
+# `make help` lists the targets.
 
 PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
-.PHONY: test smoke selftest figures trace bench-report clean
+.PHONY: help test smoke selftest provenance figures trace bench-report \
+        clean
+
+help:
+	@echo "make test          - full tier-1 suite"
+	@echo "make smoke         - fast suite (skips @slow) + provenance pins"
+	@echo "make selftest      - runner + obs end-to-end self-tests"
+	@echo "make provenance    - persist-provenance flame + diff demo"
+	@echo "                     (capture/fold/diff into provenance-out/)"
+	@echo "make figures       - regenerate the paper figures (quick scale)"
+	@echo "make trace         - example Chrome/Perfetto trace"
+	@echo "make bench-report  - benchmark dashboard vs stored baselines"
+	@echo "                     (exits nonzero on regression)"
+	@echo "make clean         - remove caches and generated artifacts"
 
 # Full tier-1 suite (what CI gates on).
 test:
@@ -21,15 +26,30 @@ test:
 
 # Fast feedback loop: skip the tests marked @pytest.mark.slow
 # (recovery campaigns, hypothesis property sweeps, cross-mechanism
-# interleaving checks).
+# interleaving checks). The provenance pins (trigger taxonomy, exact
+# stall reconciliation, bit-identity) always run here.
 smoke:
 	$(PYTEST) -q -m "not slow"
+	$(PYTEST) -q tests/test_provenance.py
 
 # End-to-end self-tests: the parallel-runner equivalence suite and the
-# observability stack (bit-identity, trace export, attribution).
+# observability stack (bit-identity, trace export, attribution,
+# provenance reconciliation, capture diff).
 selftest:
 	$(PY) -m repro.exp --selftest --quiet
 	$(PY) -m repro.obs --selftest
+
+# Persist-provenance demo: capture BB and LRP runs of the hashmap,
+# fold the LRP stalls into a flamegraph, and diff the two captures
+# (the EXPERIMENTS.md "Persist provenance" walkthrough).
+provenance:
+	$(PY) -m repro.obs provenance provenance-out/hashmap-bb.json --mechanism bb
+	$(PY) -m repro.obs provenance provenance-out/hashmap-lrp.json --mechanism lrp
+	$(PY) -m repro.obs flame provenance-out/hashmap-lrp-stalls.folded \
+		--from-capture provenance-out/hashmap-lrp.json
+	$(PY) -m repro.obs diff \
+		--captures provenance-out/hashmap-bb.json provenance-out/hashmap-lrp.json \
+		--json-out provenance-out/hashmap-lrp-vs-bb.diff.json
 
 # Regenerate the paper's evaluation figures (quick scale).
 figures:
@@ -47,6 +67,6 @@ bench-report:
 	$(PY) -m repro.bench.history --output BENCH_REPORT.md
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks
+	rm -rf .pytest_cache .hypothesis .benchmarks provenance-out
 	rm -f BENCH_runner.json BENCH_REPORT.md lrp-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

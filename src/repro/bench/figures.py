@@ -104,7 +104,8 @@ def run_normalized_execution(config: MachineConfig, title: str, *,
                              workloads: Optional[Sequence[str]] = None,
                              runner: Optional[ExperimentRunner] = None,
                              collect_obs: bool = False,
-                             collect_trace: bool = False
+                             collect_trace: bool = False,
+                             collect_provenance: bool = False
                              ) -> NormalizedExecutionResult:
     """Shared engine for Figures 5 and 7."""
     workloads = list(workloads or WORKLOAD_NAMES)
@@ -114,8 +115,10 @@ def run_normalized_execution(config: MachineConfig, title: str, *,
         Job(spec=figure_spec(workload, num_threads=num_threads,
                              scale=scale, seed=seed),
             mechanism=mech, config=config,
-            collect_obs=collect_obs or collect_trace,
-            collect_trace=collect_trace)
+            collect_obs=(collect_obs or collect_trace
+                         or collect_provenance),
+            collect_trace=collect_trace,
+            collect_provenance=collect_provenance)
         for workload in workloads
         for mech in mechanisms
     ]
@@ -133,7 +136,8 @@ def run_figure5(*, scale: str = "quick", num_threads: int = 32,
                 workloads: Optional[Sequence[str]] = None,
                 runner: Optional[ExperimentRunner] = None,
                 collect_obs: bool = False,
-                collect_trace: bool = False
+                collect_trace: bool = False,
+                collect_provenance: bool = False
                 ) -> NormalizedExecutionResult:
     """Figure 5: exec time normalized to NOP, cached NVM mode."""
     return run_normalized_execution(
@@ -142,7 +146,8 @@ def run_figure5(*, scale: str = "quick", num_threads: int = 32,
         "(cached mode, lower is better)",
         scale=scale, num_threads=num_threads, seed=seed,
         workloads=workloads, runner=runner,
-        collect_obs=collect_obs, collect_trace=collect_trace)
+        collect_obs=collect_obs, collect_trace=collect_trace,
+        collect_provenance=collect_provenance)
 
 
 def run_figure7(*, scale: str = "quick", num_threads: int = 32,
@@ -150,7 +155,8 @@ def run_figure7(*, scale: str = "quick", num_threads: int = 32,
                 workloads: Optional[Sequence[str]] = None,
                 runner: Optional[ExperimentRunner] = None,
                 collect_obs: bool = False,
-                collect_trace: bool = False
+                collect_trace: bool = False,
+                collect_provenance: bool = False
                 ) -> NormalizedExecutionResult:
     """Figure 7: same as Figure 5 with the NVM DRAM cache disabled."""
     return run_normalized_execution(
@@ -159,7 +165,8 @@ def run_figure7(*, scale: str = "quick", num_threads: int = 32,
         "(uncached mode, lower is better)",
         scale=scale, num_threads=num_threads, seed=seed,
         workloads=workloads, runner=runner,
-        collect_obs=collect_obs, collect_trace=collect_trace)
+        collect_obs=collect_obs, collect_trace=collect_trace,
+        collect_provenance=collect_provenance)
 
 
 # ----------------------------------------------------------------------
@@ -235,7 +242,8 @@ def run_figure8(*, scale: str = "quick",
                 seed: int = 1,
                 runner: Optional[ExperimentRunner] = None,
                 collect_obs: bool = False,
-                collect_trace: bool = False) -> Figure8Result:
+                collect_trace: bool = False,
+                collect_provenance: bool = False) -> Figure8Result:
     """Figure 8(a-e): overhead sweep over 1-32 worker threads."""
     thread_counts = list(thread_counts or FIGURE8_THREADS)
     workloads = list(workloads or WORKLOAD_NAMES)
@@ -245,8 +253,10 @@ def run_figure8(*, scale: str = "quick",
         Job(spec=figure_spec(workload, num_threads=threads,
                              scale=scale, seed=seed),
             mechanism=mech, config=config,
-            collect_obs=collect_obs or collect_trace,
-            collect_trace=collect_trace)
+            collect_obs=(collect_obs or collect_trace
+                         or collect_provenance),
+            collect_trace=collect_trace,
+            collect_provenance=collect_provenance)
         for workload in workloads
         for threads in thread_counts
         for mech in all_mechs
@@ -268,7 +278,8 @@ def run_figure8(*, scale: str = "quick",
                     run.stats.overhead_vs(nop.stats) * 100.0)
     return Figure8Result(
         thread_counts=thread_counts, overheads=overheads,
-        summaries=list(summaries) if (collect_obs or collect_trace)
+        summaries=list(summaries)
+        if (collect_obs or collect_trace or collect_provenance)
         else None)
 
 
@@ -496,6 +507,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--trace-out", default=None, metavar="DIR",
                         help="write one Chrome trace-event JSON per "
                              "figure run into DIR (implies --obs)")
+    parser.add_argument("--provenance-out", default=None, metavar="DIR",
+                        help="write one persist-provenance capture per "
+                             "figure run into DIR, for 'repro.obs "
+                             "flame' / 'repro.obs diff' (implies --obs)")
     parser.add_argument("--timings-out", default=None, metavar="FILE",
                         help="write per-figure wall times (and the "
                              "deterministic Figure 5 makespans) as a "
@@ -504,8 +519,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     wanted = set(args.figures or
                  ["fig5", "fig6", "fig7", "fig8", "size", "ret",
                   "recovery"])
-    obs = args.obs or bool(args.trace_out)
+    obs = args.obs or bool(args.trace_out) or bool(args.provenance_out)
     trace = bool(args.trace_out)
+    provenance = bool(args.provenance_out)
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     runner = make_runner(jobs=jobs, use_cache=not args.no_cache,
@@ -526,7 +542,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     fig5 = None
     if wanted & {"fig5", "fig6"}:
         fig5 = timed("fig5", lambda: run_figure5(
-            scale=args.scale, collect_obs=obs, collect_trace=trace))
+            scale=args.scale, collect_obs=obs, collect_trace=trace,
+            collect_provenance=provenance))
         if "fig5" in wanted:
             print(fig5.render())
             print(f"\nmean improvement BB over SB: "
@@ -541,14 +558,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         print(timed("fig6", lambda: run_figure6(fig5)).render(), "\n")
     if "fig7" in wanted:
         fig7 = timed("fig7", lambda: run_figure7(
-            scale=args.scale, collect_obs=obs, collect_trace=trace))
+            scale=args.scale, collect_obs=obs, collect_trace=trace,
+            collect_provenance=provenance))
         print(fig7.render(), "\n")
         if obs:
             print(fig7.render_attribution(), "\n")
             traced.extend(fig7.all_summaries())
     if "fig8" in wanted:
         fig8 = timed("fig8", lambda: run_figure8(
-            scale=args.scale, collect_obs=obs, collect_trace=trace))
+            scale=args.scale, collect_obs=obs, collect_trace=trace,
+            collect_provenance=provenance))
         print(fig8.render(), "\n")
         if obs and fig8.summaries:
             from repro.obs.report import render_summaries
@@ -571,6 +590,13 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         written = dump_summary_traces(traced, args.trace_out)
         print(f"\nwrote {len(written)} Chrome trace files to "
               f"{args.trace_out}/")
+
+    if provenance and traced:
+        from repro.obs.diff import dump_summary_provenance
+
+        captures = dump_summary_provenance(traced, args.provenance_out)
+        print(f"\nwrote {len(captures)} provenance captures to "
+              f"{args.provenance_out}/")
 
     if args.timings_out:
         snapshot: Dict[str, object] = {

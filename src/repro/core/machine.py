@@ -71,6 +71,13 @@ class Machine:
         if kind is _WORK:
             return None, op.cycles
 
+        obs = self.obs
+        if obs is not None and obs.provenance is not None:
+            # Narrate the op's site: the scheduler executes one memory
+            # op at a time machine-wide, so every store/persist/stall
+            # the mechanism reports until the next op belongs to it
+            # (downgrade stalls hit the requester — this core).
+            obs.provenance.begin_op(op.site)
         stats = self.stats[core]
         line_addr = line_address(op.addr, self.config.line_bytes)
         exclusive = kind is not _READ
@@ -83,7 +90,6 @@ class Machine:
             stats.l1_misses += 1
 
         # Coherence side effects -> persistency hooks.
-        obs = self.obs
         if access.downgrade is not None:
             dg = access.downgrade
             self.stats[dg.owner].downgrades_received += 1
@@ -214,6 +220,8 @@ class Machine:
 
     def checkpoint(self, now: int) -> None:
         """Drain all buffers and make the current state the baseline."""
+        if self.obs is not None and self.obs.provenance is not None:
+            self.obs.provenance.begin_op("(drain)")
         stall = self.mechanism.drain(now)
         if self.obs is not None:
             self.obs.span("run", "checkpoint-drain", now, stall,
@@ -225,6 +233,8 @@ class Machine:
 
     def finish(self, now: int) -> int:
         """End of run: drain everything so all writes become durable."""
+        if self.obs is not None and self.obs.provenance is not None:
+            self.obs.provenance.begin_op("(drain)")
         stall = self.mechanism.drain(now)
         if self.obs is not None:
             self.obs.span("run", "final-drain", now, stall, cat="drain")

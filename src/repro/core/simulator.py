@@ -93,7 +93,12 @@ def simulate(spec: WorkloadSpec,
     machine.install_initial_state(build_initial_memory(spec, structure))
 
     outcomes: List[List[Outcome]] = [[] for _ in range(spec.num_threads)]
-    workers = build_workers(spec, structure, outcomes, machine.stats)
+    # Op-site tagging feeds only the provenance tracker; skip the
+    # wrapper generators entirely otherwise so the hot path is
+    # untouched when provenance is off.
+    tag_sites = observer is not None and observer.provenance is not None
+    workers = build_workers(spec, structure, outcomes, machine.stats,
+                            tag_sites=tag_sites)
     scheduler = Scheduler(machine, workers)
     makespan = scheduler.run()
     machine.finish(makespan)

@@ -41,7 +41,15 @@ class OpKind(enum.Enum):
 
 @dataclasses.dataclass(frozen=True, **DATACLASS_SLOTS)
 class Op:
-    """One operation yielded by workload code to the scheduler."""
+    """One operation yielded by workload code to the scheduler.
+
+    ``site`` is an optional provenance step label (e.g. ``link-cas``):
+    workload code may name the algorithmic step an op implements, and
+    the harness prefixes it with the structure and operation name to
+    form the stable site id the :mod:`repro.obs.provenance` flamegraphs
+    group by. Sites never influence execution — they are metadata read
+    only by the (opt-in) provenance tracker.
+    """
 
     kind: OpKind
     addr: int = 0
@@ -49,32 +57,39 @@ class Op:
     expected: Word = None
     order: MemOrder = MemOrder.PLAIN
     cycles: int = 0
+    site: Optional[str] = None
 
 
-def load(addr: int, order: MemOrder = MemOrder.PLAIN) -> Op:
+def load(addr: int, order: MemOrder = MemOrder.PLAIN,
+         site: Optional[str] = None) -> Op:
     """A load; the yield returns the value read."""
-    return Op(OpKind.READ, addr=addr, order=order)
+    return Op(OpKind.READ, addr=addr, order=order, site=site)
 
 
 def store(addr: int, value: Word,
-          order: MemOrder = MemOrder.PLAIN) -> Op:
+          order: MemOrder = MemOrder.PLAIN,
+          site: Optional[str] = None) -> Op:
     """A store; the yield returns None."""
-    return Op(OpKind.WRITE, addr=addr, value=value, order=order)
+    return Op(OpKind.WRITE, addr=addr, value=value, order=order,
+              site=site)
 
 
 def cas(addr: int, expected: Word, value: Word,
-        order: MemOrder = MemOrder.RELEASE) -> Op:
+        order: MemOrder = MemOrder.RELEASE,
+        site: Optional[str] = None) -> Op:
     """Compare-and-swap; the yield returns ``(success, old_value)``."""
     return Op(OpKind.CAS, addr=addr, value=value, expected=expected,
-              order=order)
+              order=order, site=site)
 
 
 def xchg(addr: int, value: Word,
-         order: MemOrder = MemOrder.ACQ_REL) -> Op:
+         order: MemOrder = MemOrder.ACQ_REL,
+         site: Optional[str] = None) -> Op:
     """Atomic exchange; the yield returns the old value."""
-    return Op(OpKind.XCHG, addr=addr, value=value, order=order)
+    return Op(OpKind.XCHG, addr=addr, value=value, order=order,
+              site=site)
 
 
-def work(cycles: int) -> Op:
+def work(cycles: int, site: Optional[str] = None) -> Op:
     """Pure computation: advances the thread clock only."""
-    return Op(OpKind.WORK, cycles=cycles)
+    return Op(OpKind.WORK, cycles=cycles, site=site)

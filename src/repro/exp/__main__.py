@@ -71,7 +71,8 @@ def _timed_run(runner: ExperimentRunner, jobs: Sequence[Job],
 
 def run_selftest(workers: int, output: str, verbose: bool = True,
                  obs: bool = False,
-                 trace_out: Optional[str] = None) -> dict:
+                 trace_out: Optional[str] = None,
+                 provenance_out: Optional[str] = None) -> dict:
     jobs = selftest_jobs()
     progress = ProgressReporter() if verbose else None
 
@@ -100,12 +101,14 @@ def run_selftest(workers: int, output: str, verbose: bool = True,
                            == _fingerprint(serial_summaries))
 
     obs_report = None
-    if obs or trace_out:
+    if obs or trace_out or provenance_out:
         from repro.obs.report import attribute_summary
         from repro.obs.trace import dump_summary_traces
 
-        obs_jobs = [dataclasses.replace(job, collect_obs=True,
-                                        collect_trace=bool(trace_out))
+        obs_jobs = [dataclasses.replace(
+                        job, collect_obs=True,
+                        collect_trace=bool(trace_out),
+                        collect_provenance=bool(provenance_out))
                     for job in jobs]
         observed = ExperimentRunner(jobs=workers, progress=progress)
         obs_summaries, obs_seconds = _timed_run(observed, obs_jobs, "obs")
@@ -124,6 +127,12 @@ def run_selftest(workers: int, output: str, verbose: bool = True,
             obs_report["traces_written"] = len(
                 dump_summary_traces(obs_summaries, trace_out))
             obs_report["trace_dir"] = trace_out
+        if provenance_out:
+            from repro.obs.diff import dump_summary_provenance
+
+            obs_report["captures_written"] = len(
+                dump_summary_provenance(obs_summaries, provenance_out))
+            obs_report["provenance_dir"] = provenance_out
 
     report = {
         "suite": {
@@ -178,6 +187,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="DIR",
                         help="write one Chrome trace-event JSON per "
                              "job into DIR (implies --obs)")
+    parser.add_argument("--provenance-out", default=None, metavar="DIR",
+                        help="write one persist-provenance capture per "
+                             "job into DIR, for 'repro.obs flame' / "
+                             "'repro.obs diff' (implies --obs)")
     args = parser.parse_args(argv)
 
     if not args.selftest:
@@ -186,7 +199,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     report = run_selftest(workers, args.output, verbose=not args.quiet,
-                          obs=args.obs, trace_out=args.trace_out)
+                          obs=args.obs, trace_out=args.trace_out,
+                          provenance_out=args.provenance_out)
     ok = (report["identical_results"]
           and report["cache"]["identical_results"]
           and report["cache"]["hit_rate"] == 1.0)

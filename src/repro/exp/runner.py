@@ -58,6 +58,10 @@ class Job:
     # Cycle width of the obs timeline windows; None leaves time-series
     # sampling off (setting it implies obs collection).
     timeline_interval: Optional[int] = None
+    # Persist provenance (repro.obs.provenance): causal chains per
+    # persist/stall, shipped back in ``RunSummary.obs["provenance"]``
+    # (implies obs collection; bit-identical like the rest).
+    collect_provenance: bool = False
 
     def key(self) -> str:
         """Content-addressed cache key (includes the code version)."""
@@ -136,11 +140,13 @@ def summarize(result: SimulationResult) -> RunSummary:
 def execute_job(job: Job) -> RunSummary:
     """Run one job to completion (the worker-process entry point)."""
     observer = None
-    if job.collect_obs or job.collect_trace or job.timeline_interval:
+    if (job.collect_obs or job.collect_trace or job.timeline_interval
+            or job.collect_provenance):
         from repro.obs import Observer
 
         observer = Observer(trace=job.collect_trace,
-                            timeline_interval=job.timeline_interval)
+                            timeline_interval=job.timeline_interval,
+                            provenance=job.collect_provenance)
     result = simulate(job.spec, job.mechanism, job.config,
                       observer=observer)
     summary = summarize(result)

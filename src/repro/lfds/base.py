@@ -176,9 +176,9 @@ def header_addr(node: int) -> int:
 
 def alloc_header_write(node: int, num_words: int) -> Op:
     """The malloc-metadata store performed when a chunk is handed out."""
-    return store(header_addr(node), num_words)
+    return store(header_addr(node), num_words, site="alloc-header")
 
 
 def free_header_write(node: int) -> Op:
     """The malloc-metadata store performed when a chunk is freed."""
-    return store(header_addr(node), 0)
+    return store(header_addr(node), 0, site="free-header")

@@ -63,23 +63,27 @@ class HarrisListOps:
         """
         while True:
             pred_ptr = head_ptr
-            raw = yield load(pred_ptr, MemOrder.ACQUIRE)
+            raw = yield load(pred_ptr, MemOrder.ACQUIRE,
+                             site="traverse-head")
             curr = unmark(raw) if raw is not None else NULL
             restart = False
             while True:
                 if curr == NULL:
                     return pred_ptr, NULL, None
-                nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
+                nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE,
+                                 site="traverse-next")
                 if is_marked(nxt):
                     # curr is logically deleted: help unlink it.
                     ok, _ = yield cas(pred_ptr, curr, unmark(nxt),
-                                      MemOrder.RELEASE)
+                                      MemOrder.RELEASE,
+                                      site="help-unlink-cas")
                     if not ok:
                         restart = True
                         break
                     curr = unmark(nxt)
                     continue
-                curr_key = yield load(field(curr, KEY))
+                curr_key = yield load(field(curr, KEY),
+                                      site="traverse-key")
                 if curr_key >= key:
                     return pred_ptr, curr, curr_key
                 pred_ptr = field(curr, NEXT)
@@ -101,10 +105,11 @@ class HarrisListOps:
                 return False
             node = allocator.alloc(NODE_WORDS + 1) + 8
             yield alloc_header_write(node, NODE_WORDS)
-            yield store(field(node, KEY), key)
-            yield store(field(node, VALUE), value)
-            yield store(field(node, NEXT), curr)
-            ok, _ = yield cas(pred_ptr, curr, node, MemOrder.RELEASE)
+            yield store(field(node, KEY), key, site="node-init")
+            yield store(field(node, VALUE), value, site="node-init")
+            yield store(field(node, NEXT), curr, site="node-init")
+            ok, _ = yield cas(pred_ptr, curr, node, MemOrder.RELEASE,
+                              site="link-cas")
             if ok:
                 return True
             # Window moved: retry (the unnlinked node is simply leaked,
@@ -116,16 +121,18 @@ class HarrisListOps:
             pred_ptr, curr, curr_key = yield from self.search(head_ptr, key)
             if curr == NULL or curr_key != key:
                 return False
-            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
+            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE,
+                             site="read-next")
             if is_marked(nxt):
                 continue  # a concurrent delete got here first: retry
             succ = nxt if nxt is not None else NULL
             ok, _ = yield cas(field(curr, NEXT), succ, mark(succ),
-                              MemOrder.RELEASE)
+                              MemOrder.RELEASE, site="mark-cas")
             if not ok:
                 continue
             # Best-effort physical unlink; traversals will help if lost.
-            yield cas(pred_ptr, curr, succ, MemOrder.RELEASE)
+            yield cas(pred_ptr, curr, succ, MemOrder.RELEASE,
+                      site="unlink-cas")
             # Free the node: the malloc-metadata store of SynchroBench's
             # node reclamation (the chunk belongs to another thread's
             # arena most of the time).
@@ -134,11 +141,14 @@ class HarrisListOps:
 
     def contains(self, head_ptr: int, key: int) -> OpGen:
         """Wait-free membership test."""
-        raw = yield load(head_ptr, MemOrder.ACQUIRE)
+        raw = yield load(head_ptr, MemOrder.ACQUIRE,
+                         site="traverse-head")
         curr = unmark(raw) if raw is not None else NULL
         while curr != NULL:
-            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE)
-            curr_key = yield load(field(curr, KEY))
+            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE,
+                             site="traverse-next")
+            curr_key = yield load(field(curr, KEY),
+                                  site="traverse-key")
             if curr_key == key:
                 return not is_marked(nxt)
             if curr_key > key:

@@ -13,15 +13,21 @@ The subsystem has three layers:
   ``timeline_interval``) that attributes the same quantities to fixed
   cycle windows — the time axis behind ``python -m repro.obs
   timeline`` and the Chrome counter tracks;
+* a :class:`~repro.obs.provenance.ProvenanceTracker` (opt-in via
+  ``provenance=True``) that records the causal chain behind every
+  persist and stall — trigger event, hb-edge, dirtying site — feeding
+  the collapsed-stack flamegraphs (:mod:`repro.obs.flame`) and the
+  differential run comparison (:mod:`repro.obs.diff`);
 * exporters — a Chrome trace-event JSON writer
   (:mod:`repro.obs.trace`) and the critical-path attribution report
   (:mod:`repro.obs.report`) that splits a run's makespan into
   compute / coherence / persist-stall segments.
 
 ``python -m repro.obs`` exposes ``trace`` / ``report`` / ``timeline``
-/ ``audit`` subcommands and ``--selftest``; the ``repro.exp`` and
-``repro.bench.figures`` CLIs collect the same data behind ``--obs`` /
-``--trace-out``.
+/ ``audit`` / ``flame`` / ``diff`` / ``provenance`` subcommands and
+``--selftest``; the ``repro.exp`` and ``repro.bench.figures`` CLIs
+collect the same data behind ``--obs`` / ``--trace-out`` /
+``--provenance-out``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.obs.metrics import Histogram, MetricsRegistry, merged_registries
+from repro.obs.provenance import ProvenanceTracker
 from repro.obs.timeline import (
     TimelineSampler,
     chrome_counter_events,
@@ -40,6 +47,7 @@ __all__ = [
     "Observer",
     "Histogram",
     "MetricsRegistry",
+    "ProvenanceTracker",
     "TimelineSampler",
     "TraceCollector",
     "merged_registries",
@@ -59,16 +67,19 @@ class Observer:
     ``tests/test_obs.py``).
     """
 
-    __slots__ = ("metrics", "trace", "timeline")
+    __slots__ = ("metrics", "trace", "timeline", "provenance")
 
     def __init__(self, *, trace: bool = False,
-                 timeline_interval: Optional[int] = None) -> None:
+                 timeline_interval: Optional[int] = None,
+                 provenance: bool = False) -> None:
         self.metrics = MetricsRegistry()
         self.trace: Optional[TraceCollector] = (
             TraceCollector() if trace else None)
         self.timeline: Optional[TimelineSampler] = (
             TimelineSampler(timeline_interval)
             if timeline_interval is not None else None)
+        self.provenance: Optional[ProvenanceTracker] = (
+            ProvenanceTracker() if provenance else None)
 
     # -- metrics -------------------------------------------------------
 
@@ -110,6 +121,8 @@ class Observer:
         data: Dict[str, object] = {"metrics": self.metrics.to_dict()}
         if self.timeline is not None:
             data["timeline"] = self.timeline.to_dict()
+        if self.provenance is not None:
+            data["provenance"] = self.provenance.to_dict()
         if self.trace is not None:
             events = self.trace.chrome_events()
             if self.timeline is not None:

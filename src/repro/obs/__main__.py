@@ -14,20 +14,33 @@ Subcommands:
 * ``audit`` — re-verify the persist order and consistent-cut
   guarantees of a finished run against the RP model (zero violations
   expected for the enforcing mechanisms, nonzero for nop/ARP);
+* ``provenance`` — run with persist-provenance tracking and write the
+  capture (causal chain per persist/stall) as JSON, for later ``flame``
+  / ``diff`` rendering;
+* ``flame`` — collapse a provenance capture (or a fresh run) into
+  Brendan-Gregg folded stacks (``site;trigger;mechanism value``),
+  loadable in speedscope / flamegraph.pl, plus an ASCII top-N table;
+* ``diff`` — align two same-workload/seed captures across mechanisms
+  and report first divergence, per-site deltas, and persists
+  avoided-vs-moved;
 * ``--selftest`` — end-to-end check on a tiny workload: obs hooks
   disabled vs. enabled yield bit-identical runs, the trace export
   round-trips through ``json`` with monotone per-track timestamps, the
-  attribution reconciles exactly with ``RunStats``, and the timeline's
-  window sums reconcile with the aggregate counters.
+  attribution reconciles exactly with ``RunStats``, the timeline's
+  window sums reconcile with the aggregate counters, and the
+  provenance flamegraph's stall cycles reconcile exactly with
+  ``persist_stall_cycles``.
 
 CLI failures (unknown mechanism, unwritable output path, export
-without the requested data) exit 1 with a one-line diagnostic.
+without the requested data) exit 1 with a one-line diagnostic; missing
+parent directories of an output path are created.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from typing import List, Optional, Sequence, Tuple
@@ -39,6 +52,8 @@ from repro.obs import (
     TimelineSampler,
     write_chrome_trace,
 )
+from repro.obs import diff as diff_mod
+from repro.obs import flame
 from repro.obs.report import (
     attribute_run,
     render_attribution,
@@ -50,6 +65,18 @@ SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
 
 #: Window width (cycles) used when the user does not pass --interval.
 DEFAULT_TIMELINE_INTERVAL = 1000
+
+
+def _ensure_parent(path: str) -> None:
+    """Create an output path's parent directory if it is missing.
+
+    All obs CLI output paths go through here (the PR 3 error-path
+    contract: never a traceback — a genuinely uncreatable parent
+    surfaces as OSError, which main() turns into a one-line exit 1).
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
@@ -67,11 +94,23 @@ def _config_from_args(args: argparse.Namespace) -> MachineConfig:
 
 def _observed_run(spec: WorkloadSpec, mechanism: str,
                   config: MachineConfig, *, trace: bool,
-                  timeline_interval: Optional[int] = None
+                  timeline_interval: Optional[int] = None,
+                  provenance: bool = False
                   ) -> Tuple[SimulationResult, Observer]:
-    observer = Observer(trace=trace, timeline_interval=timeline_interval)
+    observer = Observer(trace=trace, timeline_interval=timeline_interval,
+                        provenance=provenance)
     result = simulate(spec, mechanism, config, observer=observer)
     return result, observer
+
+
+def _capture_run(spec: WorkloadSpec, mechanism: str,
+                 config: MachineConfig) -> dict:
+    """One provenance-tracked run, distilled into a capture dict."""
+    from repro.exp.runner import Job, execute_job
+
+    summary = execute_job(Job(spec=spec, mechanism=mechanism,
+                              config=config, collect_provenance=True))
+    return diff_mod.make_capture(summary)
 
 
 def _add_workload_args(parser: argparse.ArgumentParser,
@@ -95,6 +134,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     result, observer = _observed_run(spec, args.mechanism, config,
                                      trace=True)
     events = observer.trace.chrome_events()
+    _ensure_parent(args.output)
     write_chrome_trace(events, args.output)
     attribution = attribute_run(result.stats, observer.metrics.counters)
     print(f"wrote {len(events)} trace events to {args.output} "
@@ -148,17 +188,20 @@ def cmd_timeline(args: argparse.Namespace) -> int:
                  f"{spec.num_threads} threads, "
                  f"makespan {result.makespan} cycles")
         if args.export_out:
+            _ensure_parent(args.export_out)
             with open(args.export_out, "w") as handle:
                 json.dump(observer.export(), handle)
             print(f"wrote observer export to {args.export_out}")
         if args.trace_out:
             # export() appends the counter tracks to the span events.
             events = observer.export()["trace_events"]
+            _ensure_parent(args.trace_out)
             write_chrome_trace(events, args.trace_out)
             print(f"wrote {len(events)} trace events (incl. counter "
                   f"tracks) to {args.trace_out}")
     print(render_timeline(sampler, title=title, width=args.width))
     if args.csv:
+        _ensure_parent(args.csv)
         with open(args.csv, "w", newline="") as handle:
             rows = write_timeline_csv(sampler, handle)
         print(f"wrote {rows} windows x {len(sampler.names())} series "
@@ -199,6 +242,70 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_provenance(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    config = _config_from_args(args)
+    capture = _capture_run(spec, args.mechanism, config)
+    _ensure_parent(args.output)
+    diff_mod.write_capture(capture, args.output)
+    prov = capture["provenance"]
+    triggers: dict = {}
+    for entry in prov["persists"]:
+        triggers[entry["trigger"]] = triggers.get(entry["trigger"], 0) + 1
+    print(f"wrote provenance capture to {args.output}")
+    print(f"{spec.structure}/{args.mechanism}: "
+          f"{len(prov['persists'])} persists "
+          f"({', '.join(f'{t}: {n}' for t, n in sorted(triggers.items()))}), "
+          f"{capture['persist_stall_cycles']} stall cycles over "
+          f"{len(prov['stalls'])} (site, reason) pairs")
+    return 0
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    if args.from_capture:
+        capture = diff_mod.load_capture(args.from_capture)
+    else:
+        spec = _spec_from_args(args)
+        config = _config_from_args(args)
+        capture = _capture_run(spec, args.mechanism, config)
+    prov = capture["provenance"]
+    folds = flame.collapse_stacks(prov, args.mode)
+    _ensure_parent(args.output)
+    flame.write_collapsed(folds, args.output)
+    unit = "cycles" if args.mode == "stalls" else "persists"
+    print(f"wrote {len(folds)} folded stacks ({flame.total(folds)} "
+          f"{unit}) to {args.output} (feed to flamegraph.pl or "
+          f"https://speedscope.app)")
+    print(flame.render_table(prov, args.mode, limit=args.limit))
+    if args.mode == "stalls":
+        stats_total = capture["persist_stall_cycles"]
+        if flame.total(folds) != stats_total:
+            print(f"error: flame total {flame.total(folds)} != "
+                  f"persist_stall_cycles {stats_total}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    if args.captures:
+        base = diff_mod.load_capture(args.captures[0])
+        other = diff_mod.load_capture(args.captures[1])
+    else:
+        spec = _spec_from_args(args)
+        config = _config_from_args(args)
+        base = _capture_run(spec, args.base, config)
+        other = _capture_run(spec, args.other, config)
+    result = diff_mod.diff_captures(base, other)
+    if args.json_out:
+        _ensure_parent(args.json_out)
+        with open(args.json_out, "w") as handle:
+            json.dump(result, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote machine-readable diff to {args.json_out}")
+    print(diff_mod.render_diff(result, limit=args.limit))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Self-test
 # ----------------------------------------------------------------------
@@ -228,11 +335,13 @@ def run_selftest(verbose: bool = True) -> bool:
     config = MachineConfig(num_cores=4)
     interval = 500
     ok = True
+    captures: dict = {}
     for mechanism in SELFTEST_MECHANISMS:
         plain = simulate(spec, mechanism, config)
         observed, observer = _observed_run(spec, mechanism, config,
                                            trace=True,
-                                           timeline_interval=interval)
+                                           timeline_interval=interval,
+                                           provenance=True)
 
         identical = (plain.makespan == observed.makespan
                      and plain.stats.summary() == observed.stats.summary())
@@ -275,18 +384,32 @@ def run_selftest(verbose: bool = True) -> bool:
                   == counters.get("persist.lines", 0))
         tl_reconciles = tl_compute and tl_stall and tl_nvm
 
+        # Provenance pin: the stall flamegraph folds must sum exactly
+        # to persist_stall_cycles (same single charge point), and the
+        # persist-count folds must cover every recorded persist.
+        prov = observer.export()["provenance"]
+        stall_folds = flame.collapse_stacks(prov, "stalls")
+        persist_folds = flame.collapse_stacks(prov, "persists")
+        prov_reconciles = (
+            flame.total(stall_folds)
+            == observed.stats.persist_stall_cycles
+            and flame.total(persist_folds) == len(prov["persists"]))
+
         # The obs path must also compose with the runner/cache layer.
         summary = execute_job(Job(spec=spec, mechanism=mechanism,
                                   config=config, collect_obs=True,
-                                  timeline_interval=interval))
+                                  timeline_interval=interval,
+                                  collect_provenance=True))
         carried = (summary.obs is not None
                    and summary.obs["metrics"]["counters"]
                    == observer.metrics.counters
                    and summary.obs.get("timeline")
-                   == timeline.to_dict())
+                   == timeline.to_dict()
+                   and summary.obs.get("provenance") == prov)
+        captures[mechanism] = diff_mod.make_capture(summary)
 
         passed = (identical and reconciles and adds_up
-                  and tl_reconciles and carried)
+                  and tl_reconciles and prov_reconciles and carried)
         ok = ok and passed
         if verbose:
             print(f"[obs-selftest] {mechanism:4s}  "
@@ -294,8 +417,22 @@ def run_selftest(verbose: bool = True) -> bool:
                   f"stall_reconciled={reconciles}  "
                   f"segments_add_up={adds_up}  "
                   f"timeline_reconciled={tl_reconciles}  "
+                  f"provenance_reconciled={prov_reconciles}  "
                   f"summary_carries={carried}")
+
+    # Diff pin: LRP-vs-BB on the same workload/seed must align and
+    # report avoided persists (BB's proactive flushes that LRP's lazy
+    # triggers never issue).
+    gap = diff_mod.diff_captures(captures["bb"], captures["lrp"])
+    diff_ok = (gap["persists"]["avoided"] > 0
+               and gap["first_divergence"] is not None)
+    ok = ok and diff_ok
     if verbose:
+        divergence = gap["first_divergence"]
+        at = divergence["index"] if divergence else "never"
+        print(f"[obs-selftest] diff  lrp-vs-bb  "
+              f"avoided={gap['persists']['avoided']}  "
+              f"moved={gap['persists']['moved']}  diverges_at={at}")
         print(f"[obs-selftest] {'PASSED' if ok else 'FAILED'}")
     return ok
 
@@ -347,6 +484,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "instead of running a simulation")
     _add_workload_args(timeline_parser)
 
+    provenance_parser = subparsers.add_parser(
+        "provenance",
+        help="run with persist-provenance tracking; write the capture")
+    provenance_parser.add_argument(
+        "output", help="capture JSON destination (for flame / diff)")
+    provenance_parser.add_argument("--mechanism", default="lrp")
+    _add_workload_args(provenance_parser)
+
+    flame_parser = subparsers.add_parser(
+        "flame",
+        help="collapsed-stack flamegraph of persist stalls / persists")
+    flame_parser.add_argument(
+        "output", help="folded-stacks destination (speedscope-loadable)")
+    flame_parser.add_argument("--mechanism", default="lrp")
+    flame_parser.add_argument(
+        "--mode", choices=list(flame.MODES), default="stalls",
+        help="stalls = stall cycles per site;reason (reconciles with "
+             "persist_stall_cycles); persists = persist counts per "
+             "site;trigger (default: %(default)s)")
+    flame_parser.add_argument(
+        "--limit", type=int, default=15,
+        help="rows in the ASCII top-N table (default: %(default)s)")
+    flame_parser.add_argument(
+        "--from-capture", metavar="FILE",
+        help="fold a saved provenance capture instead of running")
+    _add_workload_args(flame_parser)
+
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="explain the gap between two mechanisms on one workload")
+    diff_parser.add_argument(
+        "--base", default="bb",
+        help="reference mechanism (default: %(default)s)")
+    diff_parser.add_argument(
+        "--other", default="lrp",
+        help="mechanism being explained (default: %(default)s)")
+    diff_parser.add_argument(
+        "--captures", nargs=2, metavar=("BASE", "OTHER"),
+        help="diff two saved capture files instead of running")
+    diff_parser.add_argument(
+        "--json-out", metavar="FILE",
+        help="also write the machine-readable diff as JSON")
+    diff_parser.add_argument(
+        "--limit", type=int, default=12,
+        help="rows per delta table (default: %(default)s)")
+    _add_workload_args(diff_parser)
+
     audit_parser = subparsers.add_parser(
         "audit",
         help="re-verify persist order / consistent cuts against the "
@@ -383,6 +567,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_timeline(args)
         if args.command == "audit":
             return cmd_audit(args)
+        if args.command == "provenance":
+            return cmd_provenance(args)
+        if args.command == "flame":
+            return cmd_flame(args)
+        if args.command == "diff":
+            return cmd_diff(args)
     except (ValueError, OSError) as exc:
         # Operator errors (unknown mechanism/workload, unwritable or
         # missing file, export without the requested data) get a

@@ -1,0 +1,245 @@
+"""Differential run comparison over provenance captures.
+
+Aligns two captures of the **same workload and seed** run under
+different persistency mechanisms (e.g. LRP vs BB) and explains their
+gap causally — the machine-readable version of "why is this bar in
+Fig. 5 shorter":
+
+* **persists avoided vs moved** — per-site persist counts compared:
+  a site where the base mechanism persisted more lines *avoided*
+  persists under the other; a site with more is where persists *moved*
+  (e.g. barrier-triggered flushes becoming lazy eviction writebacks);
+* **per-site stall-cycle deltas** — who stopped (or started) paying;
+* **first divergence** — the first position at which the two ordered
+  ``(site, trigger)`` persist streams disagree, i.e. the earliest
+  causal difference between the runs.
+
+A *capture* is a plain dict (JSON-able): workload identity + headline
+stats + the serialized provenance dump. :func:`make_capture` builds one
+from a :class:`~repro.exp.runner.RunSummary` whose job was run with
+``collect_provenance``; :func:`dump_summary_provenance` writes them in
+bulk for ``--provenance-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.provenance import persist_entries, site_stall_cycles
+
+#: Keys that must match for two captures to be comparable.
+IDENTITY_KEYS = ("workload", "seed", "threads", "initial_size",
+                 "ops_per_thread")
+
+
+def make_capture(summary) -> Dict[str, object]:
+    """Distil a provenance-carrying :class:`RunSummary` into a capture."""
+    obs = getattr(summary, "obs", None)
+    if not obs or "provenance" not in obs:
+        raise ValueError(
+            f"summary for {summary.mechanism} carries no provenance "
+            "(run the job with collect_provenance)")
+    return {
+        "workload": summary.spec.structure,
+        "seed": summary.spec.seed,
+        "threads": summary.spec.num_threads,
+        "initial_size": summary.spec.initial_size,
+        "ops_per_thread": summary.spec.ops_per_thread,
+        "mechanism": summary.mechanism,
+        "makespan": summary.makespan,
+        "persist_stall_cycles": summary.stats.persist_stall_cycles,
+        "persist_count": summary.persist_count,
+        "provenance": obs["provenance"],
+    }
+
+
+def write_capture(capture: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(capture, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_capture(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        capture = json.load(handle)
+    if "provenance" not in capture:
+        raise ValueError(f"{path}: not a provenance capture "
+                         "(missing 'provenance' key)")
+    return capture
+
+
+def dump_summary_provenance(summaries: Iterable, out_dir: str) -> List[str]:
+    """Write one capture file per provenance-carrying run summary.
+
+    Summaries without provenance (obs disabled, or collected without
+    ``collect_provenance``) are skipped. Returns the paths written,
+    named ``<structure>-<mechanism>-t<threads>-<nvm_mode>.json`` (the
+    same scheme as the Chrome-trace dumps).
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for summary in summaries:
+        obs = getattr(summary, "obs", None)
+        if not obs or "provenance" not in obs:
+            continue
+        mode = getattr(summary.config.nvm_mode, "value",
+                       summary.config.nvm_mode)
+        path = os.path.join(
+            out_dir,
+            f"{summary.spec.structure}-{summary.mechanism}"
+            f"-t{summary.spec.num_threads}-{mode}.json")
+        write_capture(make_capture(summary), path)
+        written.append(path)
+    return written
+
+
+# ----------------------------------------------------------------------
+# The diff
+# ----------------------------------------------------------------------
+
+def _site_persists(capture: Dict[str, object]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for entry in persist_entries(capture["provenance"]):
+        counts[entry["site"]] = counts.get(entry["site"], 0) + 1
+    return counts
+
+
+def _stream(capture: Dict[str, object]) -> List[Tuple[str, str]]:
+    """The ordered (site, trigger) persist stream of a capture."""
+    return [(e["site"], e["trigger"])
+            for e in persist_entries(capture["provenance"])]
+
+
+def diff_captures(base: Dict[str, object],
+                  other: Dict[str, object]) -> Dict[str, object]:
+    """Compare two captures of the same workload/seed.
+
+    Orientation: ``base`` is the reference (e.g. BB) and ``other`` the
+    mechanism being explained (e.g. LRP) — "avoided" counts persists
+    the base performed at a site beyond what the other did there.
+    """
+    mismatched = [
+        key for key in IDENTITY_KEYS
+        if base.get(key) != other.get(key)
+    ]
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: {base.get(key)!r} vs {other.get(key)!r}"
+            for key in mismatched)
+        raise ValueError(
+            f"captures are not comparable (different {detail}); a diff "
+            "needs the same workload and seed under two mechanisms")
+
+    base_sites = _site_persists(base)
+    other_sites = _site_persists(other)
+    per_site: List[Dict[str, object]] = []
+    avoided = moved = 0
+    for site in sorted(set(base_sites) | set(other_sites)):
+        b, o = base_sites.get(site, 0), other_sites.get(site, 0)
+        avoided += max(0, b - o)
+        moved += max(0, o - b)
+        if b != o:
+            per_site.append({"site": site, "base": b, "other": o,
+                             "delta": o - b})
+    per_site.sort(key=lambda row: (-abs(row["delta"]), row["site"]))
+
+    base_stalls = site_stall_cycles(base["provenance"])
+    other_stalls = site_stall_cycles(other["provenance"])
+    stall_deltas: List[Dict[str, object]] = []
+    for site in sorted(set(base_stalls) | set(other_stalls)):
+        b, o = base_stalls.get(site, 0), other_stalls.get(site, 0)
+        if b != o:
+            stall_deltas.append({"site": site, "base": b, "other": o,
+                                 "delta": o - b})
+    stall_deltas.sort(key=lambda row: (-abs(row["delta"]), row["site"]))
+
+    base_stream, other_stream = _stream(base), _stream(other)
+    divergence: Optional[Dict[str, object]] = None
+    for index, (b, o) in enumerate(zip(base_stream, other_stream)):
+        if b != o:
+            divergence = {
+                "index": index,
+                "base": {"site": b[0], "trigger": b[1]},
+                "other": {"site": o[0], "trigger": o[1]},
+            }
+            break
+    else:
+        if len(base_stream) != len(other_stream):
+            index = min(len(base_stream), len(other_stream))
+            longer = base_stream if len(base_stream) > len(other_stream) \
+                else other_stream
+            which = "base" if longer is base_stream else "other"
+            divergence = {
+                "index": index,
+                which: {"site": longer[index][0],
+                        "trigger": longer[index][1]},
+            }
+
+    return {
+        "workload": base["workload"],
+        "seed": base["seed"],
+        "threads": base["threads"],
+        "base_mechanism": base["mechanism"],
+        "other_mechanism": other["mechanism"],
+        "makespan": {"base": base["makespan"],
+                     "other": other["makespan"],
+                     "delta": other["makespan"] - base["makespan"]},
+        "persist_stall_cycles": {
+            "base": base["persist_stall_cycles"],
+            "other": other["persist_stall_cycles"],
+            "delta": (other["persist_stall_cycles"]
+                      - base["persist_stall_cycles"]),
+        },
+        "persists": {"base": len(base_stream),
+                     "other": len(other_stream),
+                     "avoided": avoided, "moved": moved},
+        "per_site_persists": per_site,
+        "per_site_stall_cycles": stall_deltas,
+        "first_divergence": divergence,
+    }
+
+
+def render_diff(diff: Dict[str, object], limit: int = 12) -> str:
+    """Human-readable report of a capture diff."""
+    base = diff["base_mechanism"]
+    other = diff["other_mechanism"]
+    lines = [
+        f"workload {diff['workload']} seed {diff['seed']} "
+        f"t{diff['threads']}: {other} vs {base} (base)",
+        "makespan      {base:>10} -> {other:>10}  ({delta:+})".format(
+            **diff["makespan"]),
+        "persist stall {base:>10} -> {other:>10}  ({delta:+})".format(
+            **diff["persist_stall_cycles"]),
+        "persists      {base:>10} -> {other:>10}  "
+        "(avoided {avoided}, moved {moved})".format(**diff["persists"]),
+    ]
+    div = diff["first_divergence"]
+    if div is None:
+        lines.append("persist streams identical (no divergence)")
+    else:
+        at = [f"first divergence at persist #{div['index']}:"]
+        for which, label in (("base", base), ("other", other)):
+            entry = div.get(which)
+            if entry is not None:
+                at.append(f"  {label}: {entry['site']} "
+                          f"[{entry['trigger']}]")
+            else:
+                at.append(f"  {label}: (stream ended)")
+        lines.extend(at)
+    for title, key, unit in (
+            ("per-site persist deltas", "per_site_persists", ""),
+            ("per-site stall-cycle deltas", "per_site_stall_cycles",
+             " cycles")):
+        rows = diff[key]
+        if not rows:
+            continue
+        lines.append(f"{title} ({other} - {base}):")
+        for row in rows[:limit]:
+            lines.append(
+                f"  {row['delta']:>+8}{unit}  {row['site']} "
+                f"({row['base']} -> {row['other']})")
+        if len(rows) > limit:
+            lines.append(f"  ... {len(rows) - limit} more sites")
+    return "\n".join(lines)

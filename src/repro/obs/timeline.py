@@ -42,6 +42,20 @@ from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
 #: Eight-level block characters used by the sparkline renderer.
 SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
+
+def _natural_key(name: str) -> Tuple[str, int, str]:
+    """Sort key ordering a trailing digit run numerically.
+
+    Series names embed core/channel ids as suffixes (``compute.c10``,
+    ``nvm.lines.ch2``); plain string sort puts ``c10`` before ``c2``,
+    scrambling the CSV column order between runs of different core
+    counts. Splitting off the trailing integer restores numeric order
+    while leaving purely textual names in plain string order.
+    """
+    head = name.rstrip("0123456789")
+    digits = name[len(head):]
+    return (head, int(digits) if digits else -1, name)
+
 #: (series prefix, human label, kind) for the standard display groups.
 #: ``sum`` series accumulate per window; ``max`` series are gauges.
 DISPLAY_GROUPS: Tuple[Tuple[str, str, str], ...] = (
@@ -114,8 +128,15 @@ class TimelineSampler:
         return self.last_window() + 1
 
     def names(self) -> List[str]:
-        """All series names (sum and max), sorted."""
-        return sorted(set(self.series) | set(self.gauges))
+        """All series names (sum and max), in natural sort order.
+
+        Trailing-digit runs compare numerically, so per-core and
+        per-channel series order as ``c2 < c10`` (not the lexicographic
+        ``c10 < c2``) — the stable, documented column order of the CSV
+        export, line-comparable across runs of any core count.
+        """
+        return sorted(set(self.series) | set(self.gauges),
+                      key=_natural_key)
 
     def dense(self, name: str,
               num_windows: Optional[int] = None) -> List[int]:
@@ -288,8 +309,10 @@ def write_timeline_csv(sampler: TimelineSampler,
     """Dump every raw series as CSV (one row per window); row count.
 
     Columns: ``window``, ``start_cycle``, then every series (sum and
-    max) by name — the full per-core resolution, not the aggregated
-    display groups.
+    max) by name in natural sort order (digit runs compare
+    numerically, so ``compute.c2`` precedes ``compute.c10``) — the
+    full per-core resolution, not the aggregated display groups, in a
+    stable order so CSVs of different runs diff line-for-line.
     """
     names = sampler.names()
     length = sampler.num_windows()

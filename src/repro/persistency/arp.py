@@ -65,6 +65,9 @@ class ARPMechanism(PersistencyMechanism):
                      f"persist c{core}", record.issue_time,
                      record.complete_time - record.issue_time,
                      cat="persist")
+            if obs.provenance is not None:
+                obs.provenance.note_word_persist(core, record,
+                                                 trigger="store-buffer")
 
     def on_write(self, core: int, line: CacheLine, event: MemoryEvent,
                  now: int) -> int:

@@ -44,6 +44,8 @@ class PersistencyMechanism:
         self.fabric = fabric
         self.stats = stats
         self.obs = obs
+        if obs is not None and obs.provenance is not None:
+            obs.provenance.mechanism = self.name
         self._critical_seqs: Set[int] = set()
         self._record_core: Dict[int, int] = {}
         # Per-core map of line addr -> the most recent in-flight persist
@@ -114,10 +116,15 @@ class PersistencyMechanism:
                      epoch: int) -> None:
         """Merge the store's value into the line's pending words."""
         line.record_write(event.addr, event.value, event.event_id, epoch)
+        obs = self.obs
+        if obs is not None and obs.provenance is not None:
+            obs.provenance.note_store(core, line.addr)
 
     def _issue_line(self, core: int, line: CacheLine, now: int, *,
                     after: int = 0,
-                    ordered_after: Optional[PersistRecord] = None
+                    ordered_after: Optional[PersistRecord] = None,
+                    trigger: str = "drain",
+                    edge: Optional[Tuple[int, int]] = None
                     ) -> Optional[PersistRecord]:
         """Persist a line's pending words; clears them. None if clean."""
         if not line.has_pending:
@@ -144,6 +151,8 @@ class PersistencyMechanism:
             obs.tick(f"nvm.lines.ch{channel}", record.issue_time)
             obs.span(f"nvm-ch{channel}", f"persist c{core}",
                      record.issue_time, duration, cat="persist")
+            if obs.provenance is not None:
+                obs.provenance.note_persist(core, record, trigger, edge)
         return record
 
     def _wait_for(self, waiter: int, now: int,
@@ -189,6 +198,8 @@ class PersistencyMechanism:
                 self.obs.tick(f"stall.c{waiter}", now, stall)
                 self.obs.span(f"stall-c{waiter}", reason, now, stall,
                               cat="stall")
+                if self.obs.provenance is not None:
+                    self.obs.provenance.note_stall(reason, stall)
         return stall
 
     def _mark_critical(self, record: PersistRecord) -> None:
@@ -200,6 +211,8 @@ class PersistencyMechanism:
             self.stats[issuer].writebacks_critical += 1
             if self.obs is not None:
                 self.obs.count("persist.critical_writebacks")
+                if self.obs.provenance is not None:
+                    self.obs.provenance.note_critical(record.issue_seq)
 
     def _inflight_record(self, core: int, line_addr: int,
                          now: int) -> Optional[PersistRecord]:

@@ -89,10 +89,12 @@ class BBMechanism(PersistencyMechanism):
         self._open[core].pop(line.addr, None)
         if self.config.bb_pipelined_epochs:
             record = self._issue_line(core, line, now,
-                                      ordered_after=self._chain_tail[core])
+                                      ordered_after=self._chain_tail[core],
+                                      trigger="eviction")
         else:
             record = self._issue_line(core, line, now,
-                                      after=self._chain_ack(core))
+                                      after=self._chain_ack(core),
+                                      trigger="eviction")
         self._advance_tail(core, record)
         return self._wait_for(core, now, [record], reason="eviction")
 
@@ -100,7 +102,8 @@ class BBMechanism(PersistencyMechanism):
                      to_state: MESIState, requester: int, now: int) -> int:
         """Inter-thread dependency: requester waits for the source epoch."""
         if line.has_pending:
-            ready = self._flush_open(owner, now)
+            ready = self._flush_open(owner, now, trigger="downgrade",
+                                     edge=(owner, requester))
             if ready > now:
                 self.fabric.block_line_until(line.addr, ready)
             return self._wait_until_marked(requester, now, ready, owner)
@@ -139,7 +142,8 @@ class BBMechanism(PersistencyMechanism):
         gate = sorted(unacked)[len(unacked) - window - 1]
         return self._wait_until(core, now, gate, reason="epoch-window")
 
-    def _flush_open(self, core: int, now: int) -> int:
+    def _flush_open(self, core: int, now: int,
+                    trigger: str = "epoch-drain", edge=None) -> int:
         """Issue persists for the open epoch, gated on the older epochs.
 
         Epoch ordering in the BB hardware is enforced with per-epoch
@@ -156,12 +160,14 @@ class BBMechanism(PersistencyMechanism):
             previous_tail = self._chain_tail[core]
             for line in list(self._open[core].values()):
                 record = self._issue_line(core, line, now,
-                                          ordered_after=previous_tail)
+                                          ordered_after=previous_tail,
+                                          trigger=trigger, edge=edge)
                 self._advance_tail(core, record)
         else:
             gate = self._chain_ack(core)
             for line in list(self._open[core].values()):
-                record = self._issue_line(core, line, now, after=gate)
+                record = self._issue_line(core, line, now, after=gate,
+                                          trigger=trigger, edge=edge)
                 self._advance_tail(core, record)
         self._open[core].clear()
         ack = self._chain_ack(core)
@@ -204,5 +210,6 @@ class BBMechanism(PersistencyMechanism):
     def drain(self, now: int) -> int:
         ready = now
         for core in range(self.config.num_cores):
-            ready = max(ready, self._flush_open(core, now))
+            ready = max(ready, self._flush_open(core, now,
+                                                trigger="drain"))
         return max(0, ready - now)

@@ -83,6 +83,10 @@ class _PersistBufferMechanism(PersistencyMechanism):
         self._record_core[record.issue_seq] = core
         self.stats[core].persists_issued += 1
         self.stats[core].writebacks_total += 1
+        obs = self.obs
+        if obs is not None and obs.provenance is not None:
+            obs.provenance.note_word_persist(core, record,
+                                             trigger="store-buffer")
         self._outstanding_fifo[core].append(record)
         open_tail = self._open_tail[core]
         if open_tail is None or record.complete_time > open_tail.complete_time:

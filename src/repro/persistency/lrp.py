@@ -93,10 +93,10 @@ class LRPMechanism(PersistencyMechanism):
             if line.is_released:
                 # The line holds an older release: persist via the
                 # engine so its preceding writes persist first.
-                self._persist_engine(core, line, now)
+                self._persist_engine(core, line, now, cause="release")
             else:
                 self._pending[core].pop(line.addr, None)
-                self._issue_line(core, line, now)
+                self._issue_line(core, line, now, trigger="release")
         self._apply_store(core, line, event, epoch=self._epoch[core])
         line.release_bit = True
         self._pending[core][line.addr] = line
@@ -112,14 +112,16 @@ class LRPMechanism(PersistencyMechanism):
             if event.order.has_acquire:
                 # I3 (+ release ordering): the RMW's write may persist
                 # only after earlier writes; block until it is durable.
-                ready, records = self._persist_engine(core, line, now)
+                ready, records = self._persist_engine(
+                    core, line, now, cause="rmw-acquire")
                 stall += self._wait_for(core, now + stall, records,
                                         reason="rmw-acquire")
             return stall
         if event.order.has_acquire:
             stall = self.on_write(core, line, event, now)
             self._pending[core].pop(line.addr, None)
-            record = self._issue_line(core, line, now + stall)
+            record = self._issue_line(core, line, now + stall,
+                                      trigger="rmw-acquire")
             return stall + self._wait_for(core, now + stall, [record],
                                           reason="rmw-acquire")
         return self.on_write(core, line, event, now)
@@ -144,13 +146,14 @@ class LRPMechanism(PersistencyMechanism):
             # I1: run the persist engine, off the critical path; the
             # directory blocks the line until its persist acks (the
             # PutM transient state of Section 5.2.3).
-            ready, _records = self._persist_engine(core, line, now)
+            ready, _records = self._persist_engine(core, line, now,
+                                                   cause="eviction")
             self.fabric.block_line_until(line.addr, ready)
             return 0
         # Only-written victim: persist off the critical path; I4 blocks
         # requests for the line at the directory until the ack.
         self._pending[core].pop(line.addr, None)
-        record = self._issue_line(core, line, now)
+        record = self._issue_line(core, line, now, trigger="eviction")
         self.fabric.block_line_until(line.addr, record.complete_time)
         return 0
 
@@ -162,7 +165,9 @@ class LRPMechanism(PersistencyMechanism):
                 # its preceding writes have persisted. The directory
                 # holds the line until then, so no other thread can
                 # consume the not-yet-durable value.
-                ready, records = self._persist_engine(owner, line, now)
+                ready, records = self._persist_engine(
+                    owner, line, now, cause="downgrade",
+                    edge=(owner, requester))
                 for record in records:
                     if record.complete_time > now:
                         self._mark_critical(record)
@@ -173,7 +178,8 @@ class LRPMechanism(PersistencyMechanism):
             # Only-written: persist off the critical path; the data is
             # forwarded immediately (no RP ordering without a release).
             self._pending[owner].pop(line.addr, None)
-            self._issue_line(owner, line, now)
+            self._issue_line(owner, line, now, trigger="downgrade",
+                             edge=(owner, requester))
             return 0
         inflight = self._inflight_record(owner, line.addr, now)
         if inflight is not None:
@@ -189,8 +195,14 @@ class LRPMechanism(PersistencyMechanism):
     # ------------------------------------------------------------------
 
     def _persist_engine(self, core: int, trigger: CacheLine,
-                        now: int) -> Tuple[int, List[PersistRecord]]:
+                        now: int, cause: str = "epoch-drain",
+                        edge: Optional[Tuple[int, int]] = None
+                        ) -> Tuple[int, List[PersistRecord]]:
         """Persist ``trigger`` (a released line) and everything older.
+
+        ``cause`` names the coherence event that invoked the engine
+        (provenance trigger taxonomy); ``edge`` is the owner->requester
+        hb-edge for downgrade-invoked runs.
 
         Scans the pending lines: only-written lines with a smaller
         min-epoch are persisted immediately (unordered); released lines
@@ -216,7 +228,8 @@ class LRPMechanism(PersistencyMechanism):
                 older_releases.append(line)
                 continue
             pending.pop(line.addr, None)
-            record = self._issue_line(core, line, now)
+            record = self._issue_line(core, line, now, trigger=cause,
+                                      edge=edge)
             if record is None:
                 continue
             records.append(record)
@@ -240,7 +253,8 @@ class LRPMechanism(PersistencyMechanism):
             pending.pop(release_line.addr, None)
             self._ret[core].pop(release_line.addr, None)
             record = self._issue_line(core, release_line, now,
-                                      ordered_after=barrier)
+                                      ordered_after=barrier,
+                                      trigger=cause, edge=edge)
             if record is None:
                 continue
             records.append(record)
@@ -269,7 +283,7 @@ class LRPMechanism(PersistencyMechanism):
             self.stats_epoch_wraps += 1
             if self.obs is not None:
                 self.obs.count("lrp.epoch_wraps")
-            self._drain_core(core, now)
+            self._drain_core(core, now, trigger="epoch-wrap")
             self._epoch[core] = 1
 
     def _check_watermark(self, core: int, now: int) -> None:
@@ -286,9 +300,11 @@ class LRPMechanism(PersistencyMechanism):
             if oldest_line is None or not oldest_line.is_released:
                 self._ret[core].pop(oldest_addr, None)
                 continue
-            self._persist_engine(core, oldest_line, now)
+            self._persist_engine(core, oldest_line, now,
+                                 cause="epoch-drain")
 
-    def _drain_core(self, core: int, now: int) -> int:
+    def _drain_core(self, core: int, now: int,
+                    trigger: str = "drain") -> int:
         """Persist every buffered line of a core (ordered); ack time."""
         pending = self._pending[core]
         writes_ack = now
@@ -298,7 +314,7 @@ class LRPMechanism(PersistencyMechanism):
                 releases.append(line)
                 continue
             pending.pop(line.addr, None)
-            record = self._issue_line(core, line, now)
+            record = self._issue_line(core, line, now, trigger=trigger)
             if record is not None:
                 writes_ack = max(writes_ack, record.complete_time)
         writes_tail: Optional[PersistRecord] = None
@@ -312,7 +328,8 @@ class LRPMechanism(PersistencyMechanism):
             pending.pop(line.addr, None)
             self._ret[core].pop(line.addr, None)
             record = self._issue_line(core, line, now,
-                                      ordered_after=barrier)
+                                      ordered_after=barrier,
+                                      trigger=trigger)
             if record is not None:
                 barrier = record
                 self._release_tail[core] = record

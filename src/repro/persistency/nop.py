@@ -21,18 +21,19 @@ class NOPMechanism(PersistencyMechanism):
     def on_evict(self, core: int, line: CacheLine, now: int) -> int:
         if self.obs is not None and line.has_pending:
             self.obs.count("nop.background_writebacks")
-        self._issue_line(core, line, now)
+        self._issue_line(core, line, now, trigger="eviction")
         return 0
 
     def on_downgrade(self, owner: int, line: CacheLine,
                      to_state: MESIState, requester: int, now: int) -> int:
         if self.obs is not None and line.has_pending:
             self.obs.count("nop.background_writebacks")
-        self._issue_line(owner, line, now)
+        self._issue_line(owner, line, now, trigger="downgrade",
+                         edge=(owner, requester))
         return 0
 
     def drain(self, now: int) -> int:
         for l1 in self.fabric.l1s:
             for line in l1.pending_lines():
-                self._issue_line(l1.core_id, line, now)
+                self._issue_line(l1.core_id, line, now, trigger="drain")
         return 0

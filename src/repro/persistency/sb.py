@@ -71,7 +71,7 @@ class SBMechanism(PersistencyMechanism):
             self._block_if_inflight(core, line.addr, now)
             return 0
         self._pending[core].pop(line.addr, None)
-        record = self._issue_line(core, line, now)
+        record = self._issue_line(core, line, now, trigger="eviction")
         return self._wait_for(core, now, [record], reason="eviction")
 
     def on_downgrade(self, owner: int, line: CacheLine,
@@ -85,11 +85,14 @@ class SBMechanism(PersistencyMechanism):
                                       reason="inter-thread")
             return 0
         records = []
+        edge = (owner, requester)
         for pending in list(self._pending[owner].values()):
-            records.append(self._issue_line(owner, pending, now))
+            records.append(self._issue_line(owner, pending, now,
+                                            trigger="downgrade", edge=edge))
         self._pending[owner].clear()
         if line.has_pending:  # line outside the pending map (defensive)
-            records.append(self._issue_line(owner, line, now))
+            records.append(self._issue_line(owner, line, now,
+                                            trigger="downgrade", edge=edge))
         records.extend(self._outstanding(owner, now))
         return self._wait_for(requester, now, records,
                               block_line=line.addr,
@@ -99,7 +102,8 @@ class SBMechanism(PersistencyMechanism):
     # The barrier
     # ------------------------------------------------------------------
 
-    def _full_barrier(self, core: int, now: int) -> int:
+    def _full_barrier(self, core: int, now: int,
+                      trigger: str = "barrier") -> int:
         """Persist every buffered write of ``core`` and block for acks.
 
         Also waits for in-flight persists of the core's earlier writes
@@ -113,7 +117,8 @@ class SBMechanism(PersistencyMechanism):
             self.obs.observe("sb.barrier_lines", len(self._pending[core]))
         records = []
         for line in list(self._pending[core].values()):
-            records.append(self._issue_line(core, line, now))
+            records.append(self._issue_line(core, line, now,
+                                            trigger=trigger))
         self._pending[core].clear()
         records.extend(self._outstanding(core, now))
         return self._wait_for(core, now, records, reason="barrier")
@@ -121,5 +126,6 @@ class SBMechanism(PersistencyMechanism):
     def drain(self, now: int) -> int:
         stall = 0
         for core in range(self.config.num_cores):
-            stall = max(stall, self._full_barrier(core, now))
+            stall = max(stall, self._full_barrier(core, now,
+                                                  trigger="drain"))
         return stall

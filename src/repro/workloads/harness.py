@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.common.params import MachineConfig
 from repro.common.rng import make_rng
 from repro.common.stats import CoreStats
-from repro.core.thread import work
+from repro.core.thread import Op, OpKind, work
 from repro.lfds import LogFreeStructure, structure_by_name
 from repro.memory.address import HeapAllocator
 
@@ -93,45 +93,93 @@ def build_initial_memory(spec: WorkloadSpec,
 
 def build_workers(spec: WorkloadSpec, structure: LogFreeStructure,
                   outcomes: List[List[Outcome]],
-                  stats: List[CoreStats]) -> List[Callable]:
-    """Worker coroutine factories, one per hardware thread."""
+                  stats: List[CoreStats],
+                  tag_sites: bool = False) -> List[Callable]:
+    """Worker coroutine factories, one per hardware thread.
+
+    With ``tag_sites`` every yielded op is re-tagged with a stable
+    *site id* (``<structure>.<operation>.<step>``) for the provenance
+    tracker; the default leaves ops untouched, so the hot path pays
+    nothing when provenance is off.
+    """
 
     def make_factory(worker_index: int) -> Callable:
         def factory(thread_id: int):
             return _worker(spec, structure, thread_id,
-                           outcomes[worker_index], stats)
+                           outcomes[worker_index], stats, tag_sites)
         return factory
 
     return [make_factory(i) for i in range(spec.num_threads)]
 
 
+def step_label(op: Op) -> str:
+    """Fallback step name for an op without an explicit site label."""
+    if op.kind is OpKind.WORK:
+        return "work"
+    return f"{op.kind.value}.{op.order.value}"
+
+
+def _tagged(gen, prefix: str):
+    """Delegate to ``gen``, re-tagging every yielded op's site.
+
+    Explicit step labels set by the LFD code (e.g. ``link-cas`` in the
+    Harris engine) are kept and prefixed; unlabelled ops fall back to
+    the ``<kind>.<order>`` step name — either way the resulting site id
+    is ``<prefix>.<step>`` and has bounded cardinality regardless of
+    run length, which is what makes flamegraphs and run diffs
+    line-comparable across mechanisms.
+    """
+    try:
+        op = next(gen)
+        while True:
+            step = op.site if op.site is not None else step_label(op)
+            sent = yield dataclasses.replace(op, site=f"{prefix}.{step}")
+            op = gen.send(sent)
+    except StopIteration as stop:
+        return stop.value
+
+
 def _worker(spec: WorkloadSpec, structure: LogFreeStructure,
             thread_id: int, results: List[Outcome],
-            stats: List[CoreStats]):
+            stats: List[CoreStats], tag_sites: bool = False):
     """One worker: ops_per_thread operations, 1:1 insert/delete."""
     rng = make_rng(spec.seed, "worker", thread_id)
     key_range = spec.effective_key_range
+    lfd = spec.structure
     structure.use_arena(thread_id)
     for op_index in range(spec.ops_per_thread):
         key = rng.randrange(key_range)
         roll = rng.random()
         if roll >= spec.update_ratio:
-            found = yield from structure.contains(key)
+            gen = structure.contains(key)
+            if tag_sites:
+                gen = _tagged(gen, f"{lfd}.contains")
+            found = yield from gen
             results.append(("contains", key, found))
         elif rng.random() < 0.5:
             value = thread_id * 1_000_000 + op_index + 1
-            ok = yield from structure.insert(key, value, tid=thread_id)
+            gen = structure.insert(key, value, tid=thread_id)
+            if tag_sites:
+                gen = _tagged(gen, f"{lfd}.insert")
+            ok = yield from gen
             results.append(("insert", key if spec.structure != "queue"
                             else value, ok))
         else:
             if spec.structure == "queue":
-                value = yield from structure.dequeue()
+                gen = structure.dequeue()
+                if tag_sites:
+                    gen = _tagged(gen, f"{lfd}.delete")
+                value = yield from gen
                 results.append(("delete", -1, value))
             else:
-                ok = yield from structure.delete(key)
+                gen = structure.delete(key)
+                if tag_sites:
+                    gen = _tagged(gen, f"{lfd}.delete")
+                ok = yield from gen
                 results.append(("delete", key, ok))
         stats[thread_id].ops_completed += 1
-        yield work(1)  # inter-operation application work
+        # Inter-operation application work.
+        yield work(1, site=f"{lfd}.interop.work" if tag_sites else None)
 
 
 # ----------------------------------------------------------------------

@@ -263,6 +263,28 @@ class TestRendering:
         assert set(header[2:]) == set(observer.timeline.names())
         assert len(lines) == rows + 1
 
+    def test_csv_columns_in_natural_order(self, tmp_path):
+        # The documented column order: trailing core/channel ids sort
+        # numerically (c2 before c10), so CSVs of different runs are
+        # line-comparable. Plain string sort would scramble this.
+        sampler = TimelineSampler(100)
+        for core in (10, 0, 2, 1, 11):
+            sampler.tick(f"compute.c{core}", 50, 1)
+        for channel in (3, 0, 10):
+            sampler.tick(f"nvm.lines.ch{channel}", 50, 1)
+        sampler.tick("coh.evictions", 50, 1)
+        assert sampler.names() == [
+            "coh.evictions",
+            "compute.c0", "compute.c1", "compute.c2",
+            "compute.c10", "compute.c11",
+            "nvm.lines.ch0", "nvm.lines.ch3", "nvm.lines.ch10",
+        ]
+        path = tmp_path / "order.csv"
+        with open(path, "w", newline="") as handle:
+            write_timeline_csv(sampler, handle)
+        header = path.read_text().splitlines()[0].split(",")
+        assert header == ["window", "start_cycle"] + sampler.names()
+
 
 class TestCounterEvents:
     def test_counter_tracks_monotone_and_named(self, runs):
@@ -344,10 +366,23 @@ class TestCLIErrorPaths:
         assert err.startswith("error:")
         assert "Traceback" not in err
 
-    def test_unwritable_trace_out(self, tmp_path, capsys):
+    def test_missing_parent_dir_is_created(self, tmp_path, capsys):
+        # The obs CLI contract: a missing parent directory of an
+        # output path is created rather than tracebacking.
         missing = tmp_path / "no-such-dir" / "trace.json"
         rc = obs_main(["timeline", "--trace-out", str(missing)]
                       + WORKLOAD_ARGS)
+        assert rc == 0
+        assert missing.exists()
+        assert json.loads(missing.read_text())["traceEvents"]
+
+    def test_unwritable_trace_out(self, tmp_path, capsys):
+        # A parent path that *cannot* be a directory (it is a file)
+        # still exits 1 with a one-line diagnostic, no traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        rc = obs_main(["timeline", "--trace-out",
+                       str(blocker / "trace.json")] + WORKLOAD_ARGS)
         assert rc == 1
         err = capsys.readouterr().err
         assert err.startswith("error:")
