@@ -5,13 +5,16 @@
 PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
-.PHONY: help test smoke selftest provenance figures trace bench-report \
-        clean
+.PHONY: help test smoke selftest fuzz-smoke provenance figures trace \
+        bench-report clean
 
 help:
 	@echo "make test          - full tier-1 suite"
 	@echo "make smoke         - fast suite (skips @slow) + provenance pins"
 	@echo "make selftest      - runner + obs end-to-end self-tests"
+	@echo "make fuzz-smoke    - seeded fuzzing contract campaign (<60s):"
+	@echo "                     ARP/NOP must yield shrunk counterexamples,"
+	@echo "                     SB/BB/LRP must come back clean"
 	@echo "make provenance    - persist-provenance flame + diff demo"
 	@echo "                     (capture/fold/diff into provenance-out/)"
 	@echo "make figures       - regenerate the paper figures (quick scale)"
@@ -38,6 +41,15 @@ smoke:
 selftest:
 	$(PY) -m repro.exp --selftest --quiet
 	$(PY) -m repro.obs --selftest
+
+# Seeded coverage-guided fuzzing campaign exercising the paper's
+# Figure-1 contract end to end: the weak mechanisms (ARP, NOP) must
+# produce minimized, replayable counterexamples; the RP-enforcing ones
+# (SB, BB, LRP) must survive every sampled crash point. Also pins the
+# campaign's bit-for-bit seed determinism and emits throughput
+# (execs/sec, coverage features) to BENCH_fuzz.json.
+fuzz-smoke:
+	$(PY) -m repro.fuzz --selftest --quiet --bench-out BENCH_fuzz.json
 
 # Persist-provenance demo: capture BB and LRP runs of the hashmap,
 # fold the LRP stalls into a flamegraph, and diff the two captures

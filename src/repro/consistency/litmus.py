@@ -12,7 +12,7 @@ release-CAS; thread 1 acquires the link and inserts B2 after it.
 from __future__ import annotations
 
 import dataclasses
-import itertools
+import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.consistency.events import MemOrder, MemoryEvent, Trace
@@ -83,15 +83,42 @@ def run_interleaving(program: Program, schedule: Sequence[int],
     return trace
 
 
+def count_interleavings(program: Program) -> int:
+    """Number of distinct schedules: the multinomial coefficient."""
+    total = sum(len(ops) for ops in program)
+    count = 1
+    for ops in program:
+        count *= math.comb(total, len(ops))
+        total -= len(ops)
+    return count
+
+
 def all_interleavings(program: Program) -> Iterator[List[int]]:
-    """Every schedule of ``program`` (exponential — keep programs tiny)."""
-    token_lists = [[tid] * len(ops) for tid, ops in enumerate(program)]
-    tokens = list(itertools.chain.from_iterable(token_lists))
-    seen = set()
-    for perm in itertools.permutations(tokens):
-        if perm not in seen:
-            seen.add(perm)
-            yield list(perm)
+    """Every *distinct* schedule of ``program``, in lexicographic order.
+
+    Generated as multiset permutations of the thread tokens — each
+    distinct schedule exactly once. (``itertools.permutations`` over
+    the repeated tokens would yield each schedule ``prod(n_t!)`` times
+    and force either duplicate work or a factorial-sized ``seen`` set;
+    a 2x2 program has 24 permutations but only 6 schedules.)
+    """
+    remaining = [len(ops) for ops in program]
+    total = sum(remaining)
+    schedule: List[int] = []
+
+    def emit() -> Iterator[List[int]]:
+        if len(schedule) == total:
+            yield list(schedule)
+            return
+        for tid, left in enumerate(remaining):
+            if left:
+                remaining[tid] -= 1
+                schedule.append(tid)
+                yield from emit()
+                schedule.pop()
+                remaining[tid] += 1
+
+    return emit()
 
 
 # ----------------------------------------------------------------------

@@ -65,10 +65,18 @@ class CrashCampaign:
 def crash_points(log_length: int, num_points: int,
                  seed: int = 0) -> List[int]:
     """Choose crash prefixes: always 0 and the full log, plus a
-    deterministic random sample in between."""
+    deterministic random sample in between.
+
+    The result is deduplicated and sorted, and each prefix appears at
+    most once: a short log (``num_points > log_length``) degrades to
+    testing every prefix exactly once instead of re-rolling — and
+    re-testing — already-sampled ones.
+    """
+    if num_points >= log_length + 1:
+        return list(range(log_length + 1))
     points = {0, log_length}
     rng = make_rng(seed, "crash")
-    while len(points) < min(num_points, log_length + 1):
+    while len(points) < num_points:
         points.add(rng.randint(0, log_length))
     return sorted(points)
 

@@ -12,7 +12,8 @@ behaviour.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generator, Iterable, List, Optional
+from typing import Callable, Dict, Generator, Iterable, List, Mapping, \
+    Optional
 
 from repro.core.machine import Machine
 from repro.core.thread import Op, OpKind
@@ -68,9 +69,34 @@ class Scheduler:
                 f"{machine.config.num_cores} cores")
         self.max_ops: Optional[int] = None   # safety valve for tests
         self._executed_ops = 0
+        # Priority nudges (repro.fuzz): decision index -> runnable rank.
+        # None keeps the optimized heap path below completely untouched.
+        self._nudges: Optional[Dict[int, int]] = None
+
+    @property
+    def executed_ops(self) -> int:
+        """Operations executed so far (= schedule decisions taken)."""
+        return self._executed_ops
+
+    def set_nudges(self, nudges: Optional[Mapping[int, int]]) -> None:
+        """Install schedule-perturbation nudges (the fuzzing hook).
+
+        ``nudges`` maps a *decision index* (the number of operations
+        executed machine-wide when the scheduler next picks a thread)
+        to a *rank*: instead of the runnable thread with the smallest
+        ``(clock, thread_id)`` key (rank 0), the scheduler picks the
+        rank-th smallest, modulo the number of runnable threads. Any
+        non-None value routes :meth:`run` through the slower min-scan
+        loop — which with an empty mapping executes the exact same
+        interleaving as the default heap loop (pinned by tests) — so
+        the benchmark hot path never pays for the hook.
+        """
+        self._nudges = dict(nudges) if nudges is not None else None
 
     def run(self) -> int:
         """Execute until every thread finishes; returns the makespan."""
+        if self._nudges is not None:
+            return self._run_nudged()
         compute = self.machine.config.compute_cycles_per_op
         execute = self.machine.execute
         stats = self.machine.stats
@@ -112,6 +138,54 @@ class Scheduler:
             thread.clock += latency + compute
             self._executed_ops += 1
             heappush(heap, (thread.clock, tid))
+        return self.makespan()
+
+    def _run_nudged(self) -> int:
+        """Min-scan execution loop honouring the installed nudges.
+
+        Selection is by ``(clock, thread_id)`` rank among runnable
+        threads — identical to the heap loop when a decision has no
+        nudge (or rank 0), and a deterministic perturbation otherwise.
+        Thread counts are tiny (<= num_cores), so the O(n) scan per
+        decision is irrelevant next to the simulated memory system.
+        """
+        nudges = self._nudges or {}
+        compute = self.machine.config.compute_cycles_per_op
+        execute = self.machine.execute
+        stats = self.machine.stats
+        obs = self.machine.obs
+        runnable = list(self.threads)
+        while runnable:
+            runnable.sort(key=lambda t: (t.clock, t.thread_id))
+            rank = nudges.get(self._executed_ops, 0) % len(runnable)
+            thread = runnable[rank]
+            op = thread.next_op()
+            if op is None:
+                stats[thread.thread_id].cycles = thread.clock
+                runnable.remove(thread)
+                continue
+            if self.max_ops is not None and self._executed_ops >= self.max_ops:
+                raise RuntimeError(
+                    f"scheduler exceeded max_ops={self.max_ops} — "
+                    "possible livelock in a workload")
+            tid = thread.thread_id
+            result, latency = execute(tid, op, thread.clock)
+            thread.deliver(result)
+            if obs is not None:
+                if op.kind is _WORK:
+                    obs.count(f"sched.compute_cycles.c{tid}",
+                              latency + compute)
+                    obs.tick(f"compute.c{tid}", thread.clock,
+                             latency + compute)
+                else:
+                    obs.count(f"sched.compute_cycles.c{tid}", compute)
+                    obs.count(f"sched.mem_cycles.c{tid}", latency)
+                    obs.tick(f"compute.c{tid}", thread.clock, compute)
+                    obs.tick(f"mem.c{tid}", thread.clock, latency)
+                obs.span(f"core{tid}", op.kind.name, thread.clock,
+                         latency + compute, cat="op")
+            thread.clock += latency + compute
+            self._executed_ops += 1
         return self.makespan()
 
     def makespan(self) -> int:

@@ -39,6 +39,9 @@ class SimulationResult:
     outcomes: List[List[Outcome]]
     stats: RunStats
     makespan: int
+    #: Total operations executed (= schedule decisions taken) — the
+    #: decision-index space the fuzzer's schedule nudges range over.
+    executed_ops: int = 0
 
     @property
     def trace(self):
@@ -78,12 +81,16 @@ class SimulationResult:
 def simulate(spec: WorkloadSpec,
              mechanism: str = "lrp",
              config: Optional[MachineConfig] = None,
-             observer: Optional[Observer] = None) -> SimulationResult:
+             observer: Optional[Observer] = None,
+             schedule_nudges: Optional[Dict[int, int]] = None
+             ) -> SimulationResult:
     """Run one full benchmark configuration.
 
     ``observer`` attaches the :mod:`repro.obs` instrumentation; the
     default (None) leaves every hook disabled and the run bit-identical
-    to an unobserved one.
+    to an unobserved one. ``schedule_nudges`` installs the fuzzer's
+    priority perturbations (:meth:`Scheduler.set_nudges`); None keeps
+    the scheduler on its default hot path.
     """
     config = config or DEFAULT_CONFIG
     if spec.num_threads > config.num_cores:
@@ -100,6 +107,8 @@ def simulate(spec: WorkloadSpec,
     workers = build_workers(spec, structure, outcomes, machine.stats,
                             tag_sites=tag_sites)
     scheduler = Scheduler(machine, workers)
+    if schedule_nudges is not None:
+        scheduler.set_nudges(schedule_nudges)
     makespan = scheduler.run()
     machine.finish(makespan)
 
@@ -112,7 +121,8 @@ def simulate(spec: WorkloadSpec,
     return SimulationResult(
         spec=spec, mechanism=machine.mechanism.name, config=config,
         machine=machine, structure=structure, outcomes=outcomes,
-        stats=stats, makespan=makespan)
+        stats=stats, makespan=makespan,
+        executed_ops=scheduler.executed_ops)
 
 
 def simulate_all_mechanisms(

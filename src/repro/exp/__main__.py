@@ -36,12 +36,12 @@ SELFTEST_WORKLOADS = ("linkedlist", "hashmap", "bstree", "skiplist",
 SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
 
 
-def selftest_jobs() -> List[Job]:
+def selftest_jobs(seed: int = 1) -> List[Job]:
     config = bench_config(SCALED_CONFIG)
     return [
         Job(spec=WorkloadSpec(structure=workload, num_threads=8,
                               initial_size=512, ops_per_thread=16,
-                              seed=1),
+                              seed=seed),
             mechanism=mech, config=config)
         for workload in SELFTEST_WORKLOADS
         for mech in SELFTEST_MECHANISMS
@@ -72,8 +72,9 @@ def _timed_run(runner: ExperimentRunner, jobs: Sequence[Job],
 def run_selftest(workers: int, output: str, verbose: bool = True,
                  obs: bool = False,
                  trace_out: Optional[str] = None,
-                 provenance_out: Optional[str] = None) -> dict:
-    jobs = selftest_jobs()
+                 provenance_out: Optional[str] = None,
+                 seed: int = 1) -> dict:
+    jobs = selftest_jobs(seed)
     progress = ProgressReporter() if verbose else None
 
     serial = ExperimentRunner(jobs=1, progress=progress)
@@ -175,6 +176,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "equivalence and timing suite")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all CPU cores)")
+    parser.add_argument("--seed", type=int, default=1, metavar="S",
+                        help="workload seed threaded into every "
+                             "WorkloadSpec of the suite "
+                             "(default: %(default)s)")
     parser.add_argument("--output", default="BENCH_runner.json",
                         help="where to write the benchmark JSON "
                              "(default: %(default)s)")
@@ -200,7 +205,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     report = run_selftest(workers, args.output, verbose=not args.quiet,
                           obs=args.obs, trace_out=args.trace_out,
-                          provenance_out=args.provenance_out)
+                          provenance_out=args.provenance_out,
+                          seed=args.seed)
     ok = (report["identical_results"]
           and report["cache"]["identical_results"]
           and report["cache"]["hit_rate"] == 1.0)

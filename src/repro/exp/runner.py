@@ -29,7 +29,7 @@ import dataclasses
 import hashlib
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import MachineConfig
 from repro.common.stats import RunStats
@@ -62,6 +62,15 @@ class Job:
     # persist/stall, shipped back in ``RunSummary.obs["provenance"]``
     # (implies obs collection; bit-identical like the rest).
     collect_provenance: bool = False
+    # Schedule perturbation (repro.fuzz): ((decision_index, rank), ...)
+    # priority nudges installed on the scheduler before the run. None
+    # keeps the scheduler's optimized heap path.
+    schedule_nudges: Optional[Tuple[Tuple[int, int], ...]] = None
+    # Fuzzing leg (repro.fuzz.leg.FuzzLegSpec): when set, the worker
+    # additionally harvests a coverage map (implies provenance
+    # collection) and crash-tests coverage-weighted persist-log
+    # prefixes, returning both in ``RunSummary.fuzz``.
+    fuzz: Optional[object] = None
 
     def key(self) -> str:
         """Content-addressed cache key (includes the code version)."""
@@ -104,6 +113,9 @@ class RunSummary:
     #: plus ``trace_events`` when the job asked for a trace). ``None``
     #: unless the job was run with ``collect_obs``.
     obs: Optional[Dict[str, object]] = None
+    #: Fuzzing-leg payload (coverage list, crash outcomes, executed
+    #: ops); ``None`` unless the job carried a ``fuzz`` spec.
+    fuzz: Optional[Dict[str, object]] = None
 
 
 def summarize(result: SimulationResult) -> RunSummary:
@@ -141,17 +153,28 @@ def execute_job(job: Job) -> RunSummary:
     """Run one job to completion (the worker-process entry point)."""
     observer = None
     if (job.collect_obs or job.collect_trace or job.timeline_interval
-            or job.collect_provenance):
+            or job.collect_provenance or job.fuzz is not None):
         from repro.obs import Observer
 
         observer = Observer(trace=job.collect_trace,
                             timeline_interval=job.timeline_interval,
-                            provenance=job.collect_provenance)
+                            provenance=(job.collect_provenance
+                                        or job.fuzz is not None))
+    nudges = (dict(job.schedule_nudges)
+              if job.schedule_nudges is not None else None)
     result = simulate(job.spec, job.mechanism, job.config,
-                      observer=observer)
+                      observer=observer, schedule_nudges=nudges)
     summary = summarize(result)
     if observer is not None:
         summary.obs = observer.export()
+    if job.fuzz is not None:
+        from repro.fuzz.leg import run_fuzz_leg
+
+        summary.fuzz = run_fuzz_leg(result, summary.obs, job.fuzz)
+        # The coverage map also rides in the obs export proper, so
+        # anything that consumes RunSummary.obs (cache, history,
+        # merged sweeps) sees it without knowing about the fuzzer.
+        summary.obs["coverage"] = summary.fuzz["coverage"]
     if job.crash_points is not None:
         from repro.core.recovery import crash_test
 

@@ -1,0 +1,92 @@
+"""Coverage-weighted crash-prefix sampling.
+
+Uniform prefix sampling (``recovery.crash_points``) spends most of its
+budget on boring cuts: long stretches of the persist log where nothing
+synchronization-relevant became durable. The Figure-1 failure mode —
+a link publish persisted before the node fields it publishes — lives
+*at* the durability boundary of release-adjacent persists: the log
+index right before/after a persist triggered by a release, a
+downgrade of a released line, or an acquiring RMW.
+
+This module weights each candidate crash prefix by the provenance
+trigger of the log records flanking it and samples without
+replacement under a deterministic RNG. Prefixes 0 and the full log
+are always included (the recovery suite's invariant endpoints).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+#: Trigger -> sampling weight of a flanking crash prefix. Release /
+#: downgrade / acquiring-RMW persists carry the hb edges the
+#: consistent-cut argument is about; epoch drains and barriers batch
+#: many lines and get a milder boost; plain evictions stay baseline.
+TRIGGER_WEIGHTS: Dict[str, int] = {
+    "release": 8,
+    "downgrade": 8,
+    "rmw-acquire": 8,
+    "epoch-drain": 2,
+    "barrier": 2,
+    "epoch-wrap": 2,
+}
+
+_BASE_WEIGHT = 1
+
+
+def prefix_weights(log, trigger_by_seq: Dict[int, str]) -> List[int]:
+    """Sampling weight of every crash prefix ``0..len(log)``.
+
+    Prefix ``k`` cuts the log between record ``k-1`` (the youngest
+    durable persist) and record ``k`` (the first lost one); it
+    inherits the larger flanking trigger weight.
+    """
+    record_weights = [
+        TRIGGER_WEIGHTS.get(trigger_by_seq.get(record.issue_seq, ""),
+                            _BASE_WEIGHT)
+        for record in log
+    ]
+    weights = []
+    for prefix in range(len(log) + 1):
+        before = record_weights[prefix - 1] if prefix > 0 else _BASE_WEIGHT
+        after = record_weights[prefix] if prefix < len(log) else _BASE_WEIGHT
+        weights.append(max(before, after))
+    return weights
+
+
+def sample_prefixes(weights: Sequence[int], num_points: int,
+                    rng: random.Random) -> List[int]:
+    """Weighted sample (without replacement) of crash prefixes.
+
+    Always contains prefix 0 and the full log. Degrades to every
+    prefix exactly once when the budget covers the whole log. The
+    result is sorted and duplicate-free.
+    """
+    log_len = len(weights) - 1
+    if num_points >= log_len + 1:
+        return list(range(log_len + 1))
+    chosen = {0, log_len}
+    candidates = [p for p in range(log_len + 1) if p not in chosen]
+    live_weights = [weights[p] for p in candidates]
+    while len(chosen) < num_points and candidates:
+        total = sum(live_weights)
+        point = rng.random() * total
+        acc = 0.0
+        pick = len(candidates) - 1
+        for i, weight in enumerate(live_weights):
+            acc += weight
+            if point < acc:
+                pick = i
+                break
+        chosen.add(candidates.pop(pick))
+        live_weights.pop(pick)
+    return sorted(chosen)
+
+
+def trigger_map(provenance: Dict[str, object]) -> Dict[int, str]:
+    """``issue_seq -> trigger`` from a serialized provenance capture."""
+    return {
+        int(entry["seq"]): str(entry["trigger"])
+        for entry in provenance.get("persists", ())
+    }

@@ -1,0 +1,114 @@
+"""Schedule mutations: seeded priority nudges for the scheduler.
+
+The simulator's scheduler always runs the runnable thread with the
+smallest ``(clock, thread_id)`` key. A :class:`ScheduleMutation`
+perturbs that deterministically: at a given *decision index* (the
+machine-wide count of executed operations), pick the ``rank``-th
+smallest runnable thread instead of the smallest. A mutation is just a
+sorted tuple of ``(decision_index, rank)`` nudges — tiny, canonical,
+diffable, and trivially shrinkable by dropping nudges.
+
+Mutations are derived exclusively from RNGs built with
+:func:`repro.common.rng.make_rng`, so a campaign seed reproduces the
+exact mutation sequence on any machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from typing import Dict, Tuple
+
+Nudge = Tuple[int, int]
+
+#: Largest rank a nudge may request; ranks wrap modulo the number of
+#: runnable threads at the decision, so small ranks stay meaningful
+#: even near the end of a run.
+MAX_RANK = 3
+
+#: Cap on nudges per mutation: enough to steer an interleaving into a
+#: rare corner, small enough that shrinking stays fast.
+MAX_NUDGES = 12
+
+#: Consecutive decisions a burst mutation covers. Most single nudges
+#: are no-ops (threads' logical clocks make the schedule insensitive
+#: except at contended decisions), so the mutator also fires bursts of
+#: adjacent nudges that perturb a whole window of decisions at once;
+#: the shrinker then strips the nudges that did not matter.
+BURST_SPAN = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleMutation:
+    """A canonical (sorted, deduplicated) set of priority nudges."""
+
+    nudges: Tuple[Nudge, ...] = ()
+
+    @staticmethod
+    def make(nudges) -> "ScheduleMutation":
+        """Canonicalize: sort by decision index, one nudge per index."""
+        by_index: Dict[int, int] = {}
+        for index, rank in nudges:
+            by_index[int(index)] = int(rank)
+        return ScheduleMutation(tuple(sorted(by_index.items())))
+
+    def as_dict(self) -> Dict[int, int]:
+        """The mapping :meth:`Scheduler.set_nudges` consumes."""
+        return dict(self.nudges)
+
+    def digest(self) -> str:
+        """Stable content digest (corpus file naming)."""
+        text = repr(self.nudges).encode("ascii")
+        return hashlib.sha256(text).hexdigest()[:16]
+
+    def __len__(self) -> int:
+        return len(self.nudges)
+
+
+def mutate(parent: ScheduleMutation, rng: random.Random,
+           decision_space: int) -> ScheduleMutation:
+    """One mutation step: perturb ``parent`` into a child mutation.
+
+    Operators (chosen by ``rng``): add a nudge at a fresh decision
+    index, add a *burst* of adjacent nudges (a whole window of
+    perturbed decisions — single nudges are usually no-ops away from
+    contended decisions), drop a nudge, re-rank a nudge, or move a
+    nudge to a nearby decision. ``decision_space`` bounds the index
+    range — the executed op count of the unperturbed baseline run
+    (nudges past the end of a shorter perturbed run are harmless
+    no-ops).
+    """
+    if decision_space < 1:
+        return parent
+    nudges = list(parent.nudges)
+    ops = ["add", "burst"]
+    if nudges:
+        ops += ["drop", "rerank", "shift"]
+    op = rng.choice(ops)
+    if op in ("add", "burst") and len(nudges) >= MAX_NUDGES:
+        op = "rerank" if nudges else "add"
+    if op == "add":
+        index = rng.randrange(decision_space)
+        rank = rng.randint(1, MAX_RANK)
+        nudges.append((index, rank))
+    elif op == "burst":
+        start = rng.randrange(decision_space)
+        span = min(BURST_SPAN, MAX_NUDGES - len(nudges))
+        for offset in range(span):
+            index = start + offset
+            if index < decision_space:
+                nudges.append((index, rng.randint(1, MAX_RANK)))
+    elif op == "drop":
+        nudges.pop(rng.randrange(len(nudges)))
+    elif op == "rerank":
+        pos = rng.randrange(len(nudges))
+        index, _rank = nudges[pos]
+        nudges[pos] = (index, rng.randint(1, MAX_RANK))
+    else:  # shift
+        pos = rng.randrange(len(nudges))
+        index, rank = nudges[pos]
+        delta = rng.randint(-8, 8) or 1
+        nudges[pos] = (max(0, min(decision_space - 1, index + delta)),
+                       rank)
+    return ScheduleMutation.make(nudges)

@@ -1,0 +1,171 @@
+"""Replayable counterexample files.
+
+A repro file is a self-contained JSON description of one minimized
+counterexample: workload spec, machine config, mechanism, schedule
+mutation, crash prefix, and the recorded verdict. Simulations are
+deterministic, so replaying the file re-derives the *same* violation
+— ``python -m repro.fuzz --replay FILE`` exits 0 iff the recorded
+verdict reproduces bit-for-bit (kind and first problem line).
+
+The file is the hand-off artifact: a failing CI fuzz campaign drops
+repro files, and anyone can replay them locally without the campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.common.params import MachineConfig, NVMMode
+from repro.core.simulator import SimulationResult, simulate
+from repro.fuzz.mutation import ScheduleMutation
+from repro.workloads.harness import WorkloadSpec
+
+FORMAT = "repro-fuzz-repro-v1"
+
+
+def config_to_dict(config: MachineConfig) -> Dict[str, object]:
+    """JSON-able dump of a machine config (enums by value)."""
+    data = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        data[field.name] = value.value if isinstance(value, enum.Enum) \
+            else value
+    return data
+
+
+def config_from_dict(data: Dict[str, object]) -> MachineConfig:
+    kwargs = dict(data)
+    if "nvm_mode" in kwargs:
+        kwargs["nvm_mode"] = NVMMode(kwargs["nvm_mode"])
+    return MachineConfig(**kwargs)
+
+
+@dataclasses.dataclass
+class ReproFile:
+    """One minimized counterexample, ready to serialize/replay."""
+
+    workload: Dict[str, object]
+    mechanism: str
+    config: Dict[str, object]
+    mutation: List[List[int]]
+    prefix: int
+    verdict: Dict[str, object]
+    campaign: Dict[str, object]
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT,
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "config": self.config,
+            "mutation": self.mutation,
+            "prefix": self.prefix,
+            "verdict": self.verdict,
+            "campaign": self.campaign,
+        }
+
+    def save(self, path: str) -> None:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ReproFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("format") != FORMAT:
+            raise ValueError(
+                f"{path}: not a fuzz repro file "
+                f"(format={data.get('format')!r})")
+        return cls(workload=data["workload"],
+                   mechanism=data["mechanism"],
+                   config=data["config"],
+                   mutation=[list(n) for n in data["mutation"]],
+                   prefix=int(data["prefix"]),
+                   verdict=data["verdict"],
+                   campaign=data.get("campaign", {}))
+
+    # -- replay --------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Re-simulate the counterexample's exact run."""
+        spec = WorkloadSpec(**self.workload)
+        config = config_from_dict(self.config)
+        mutation = ScheduleMutation.make(
+            (int(d), int(r)) for d, r in self.mutation)
+        return simulate(spec, self.mechanism, config,
+                        schedule_nudges=mutation.as_dict())
+
+    def replay(self) -> Dict[str, object]:
+        """Re-derive the verdict at the recorded crash prefix."""
+        result = self.run()
+        log_len = len(result.nvm.persist_log())
+        if not 0 <= self.prefix <= log_len:
+            return {"kind": "mismatch",
+                    "problems": [f"prefix {self.prefix} out of range "
+                                 f"[0, {log_len}]"]}
+        if self.verdict.get("kind") == "continuation":
+            return self._replay_continuation(result)
+        report = result.structure.validate_image(
+            result.nvm.image_after_prefix(self.prefix))
+        if report.ok:
+            return {"kind": "recovered", "problems": []}
+        verdict: Dict[str, object] = {
+            "kind": "structural",
+            "problems": [str(p) for p in report.problems[:3]],
+        }
+        if result.config.record_trace:
+            from repro.persistency.checker import RPChecker
+
+            checker = RPChecker(result.trace, result.nvm,
+                                boundary_event=result.machine
+                                .boundary_event)
+            verdict["cut_violations"] = len(
+                checker.check_cut(self.prefix))
+        return verdict
+
+    def _replay_continuation(self, result) -> Dict[str, object]:
+        from repro.core.replay import RecoveryReplayError, \
+            recover_and_continue
+
+        params = dict(self.verdict.get("continuation", {}))
+        try:
+            recover_and_continue(result, self.prefix, **params)
+        except RecoveryReplayError as exc:
+            return {"kind": "continuation", "problems": [str(exc)],
+                    "continuation": params}
+        return {"kind": "recovered", "problems": []}
+
+    def verdict_matches(self, replayed: Dict[str, object]) -> bool:
+        """Same violation: kind matches, and the first problem line
+        (the validator's primary diagnosis) is identical."""
+        if replayed.get("kind") != self.verdict.get("kind"):
+            return False
+        mine = list(self.verdict.get("problems", []))
+        theirs = list(replayed.get("problems", []))
+        return (mine[:1] == theirs[:1])
+
+
+def replay_repro(path: str) -> Dict[str, object]:
+    """Load, replay and judge a repro file.
+
+    Returns ``{"ok": bool, "recorded": ..., "replayed": ...}``.
+    """
+    repro = ReproFile.load(path)
+    replayed = repro.replay()
+    return {
+        "ok": repro.verdict_matches(replayed),
+        "recorded": repro.verdict,
+        "replayed": replayed,
+        "mechanism": repro.mechanism,
+        "prefix": repro.prefix,
+        "nudges": len(repro.mutation),
+    }

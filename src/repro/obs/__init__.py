@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs.coverage import CoverageMap, coverage_from_obs
 from repro.obs.metrics import Histogram, MetricsRegistry, merged_registries
 from repro.obs.provenance import ProvenanceTracker
 from repro.obs.timeline import (
@@ -45,6 +46,8 @@ from repro.obs.trace import TraceCollector, write_chrome_trace
 
 __all__ = [
     "Observer",
+    "CoverageMap",
+    "coverage_from_obs",
     "Histogram",
     "MetricsRegistry",
     "ProvenanceTracker",

@@ -189,6 +189,23 @@ class TestKeyStability:
 
 
 class TestSatelliteFixes:
+    def test_selftest_seed_threads_into_specs(self):
+        from repro.exp.__main__ import selftest_jobs
+
+        default = selftest_jobs()
+        seeded = selftest_jobs(seed=42)
+        assert {job.spec.seed for job in default} == {1}
+        assert {job.spec.seed for job in seeded} == {42}
+        assert len(default) == len(seeded)
+
+    def test_cli_exposes_seed_flag(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.exp", "--help"],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": "src"}, cwd=".",
+        ).stdout
+        assert "--seed" in out
+
     def test_simulate_all_mechanisms_accepts_any_sequence(self):
         spec = WorkloadSpec(structure="queue", num_threads=2,
                             initial_size=16, ops_per_thread=4, seed=0)

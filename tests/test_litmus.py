@@ -11,6 +11,7 @@ from repro.consistency.litmus import (
     FIG1_ADDRS,
     all_interleavings,
     cas,
+    count_interleavings,
     figure1_initial_memory,
     figure1_insert,
     figure1_sequential_schedule,
@@ -55,6 +56,29 @@ class TestInterpreter:
         program = [[write(0x8, 1)], [write(0x10, 2), read(0x8)]]
         schedules = list(all_interleavings(program))
         assert len(schedules) == 3  # C(3,1) placements of thread 0's op
+
+    def test_all_interleavings_are_distinct(self):
+        """Multiset permutations: a 2x2 program has 4! = 24 labelled
+        permutations but only C(4,2) = 6 distinct schedules — each
+        emitted exactly once (the old generator yielded duplicates)."""
+        program = [[write(0x8, 1), write(0x10, 2)],
+                   [write(0x18, 3), write(0x20, 4)]]
+        schedules = [tuple(s) for s in all_interleavings(program)]
+        assert len(schedules) == 6
+        assert len(set(schedules)) == 6
+        assert schedules == sorted(schedules)  # lexicographic order
+
+    def test_count_interleavings_matches_generator(self):
+        program = [[write(0x8, 1)] * 3, [write(0x10, 2)] * 2,
+                   [write(0x18, 3)]]
+        assert count_interleavings(program) == 60  # 6!/(3!2!1!)
+        assert len(list(all_interleavings(program))) == 60
+
+    def test_figure1_interleavings_deduplicated(self):
+        program = figure1_insert()
+        schedules = [tuple(s) for s in all_interleavings(program)]
+        assert len(schedules) == count_interleavings(program)
+        assert len(set(schedules)) == len(schedules)
 
     def test_ops_constructors(self):
         op = cas(0x8, 1, 2)

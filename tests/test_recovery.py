@@ -46,6 +46,17 @@ class TestCrashPoints:
     def test_short_log(self):
         assert crash_points(0, 10) == [0]
 
+    def test_short_log_every_prefix_once(self):
+        """A budget covering the whole log yields each prefix exactly
+        once, sorted — no duplicates from rejection sampling."""
+        assert crash_points(3, 10) == [0, 1, 2, 3]
+        assert crash_points(5, 6) == [0, 1, 2, 3, 4, 5]
+
+    def test_sorted_and_duplicate_free(self):
+        points = crash_points(200, 40, seed=11)
+        assert points == sorted(points)
+        assert len(points) == len(set(points)) == 40
+
 
 @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
 @pytest.mark.parametrize("mechanism", ["sb", "bb", "lrp"])
@@ -82,6 +93,34 @@ class TestWeakMechanismsViolate:
             if exhaustive_crash_test(result).failures:
                 violating += 1
         assert violating >= 3
+
+
+class TestExpectedFailureContract:
+    """The Figure-1 contract on a small, fast hashmap run: weak
+    mechanisms must leave unrecoverable crash states, RP-enforcing
+    ones must not (the fuzzer's exit contract builds on this)."""
+
+    SPEC = WorkloadSpec(structure="hashmap", num_threads=4,
+                        initial_size=64, ops_per_thread=8, seed=1)
+    SMALL_CFG = MachineConfig(num_cores=8, l1_size_bytes=4 * 1024)
+
+    @pytest.mark.parametrize("mechanism", ["arp", "nop"])
+    def test_weak_mechanisms_report_failures(self, mechanism):
+        result = simulate(self.SPEC, mechanism=mechanism,
+                          config=self.SMALL_CFG)
+        campaign = exhaustive_crash_test(result)
+        assert not campaign.all_recovered
+        assert campaign.failures
+
+    @pytest.mark.parametrize("mechanism", ["sb", "bb", "lrp"])
+    def test_enforcing_mechanisms_all_recover(self, mechanism):
+        result = simulate(self.SPEC, mechanism=mechanism,
+                          config=self.SMALL_CFG)
+        campaign = exhaustive_crash_test(result)
+        assert campaign.all_recovered, [
+            (o.prefix_len, o.report.problems[:1])
+            for o in campaign.failures[:3]
+        ]
 
 
 class TestCampaignAPI:

@@ -116,6 +116,74 @@ class TestSchedulingOrder:
         assert len(executed) == 7
 
 
+class TestScheduleNudges:
+    """The fuzzer's priority-nudge hook (repro.fuzz rides on this)."""
+
+    def _racing_writers(self):
+        def writer(value):
+            def gen(tid):
+                yield store(0x8, value)
+            return gen
+        return [writer(1), writer(2)]
+
+    def test_default_order_is_thread_id(self):
+        sched, machine = _scheduler(self._racing_writers())
+        sched.run()
+        # Equal clocks: thread 0 executes first, thread 1 overwrites.
+        assert machine.trace.load(0x8) == 2
+
+    def test_nudge_flips_first_decision(self):
+        sched, machine = _scheduler(self._racing_writers())
+        sched.set_nudges({0: 1})
+        sched.run()
+        # Thread 1 ran first, so thread 0's store lands last.
+        assert machine.trace.load(0x8) == 1
+
+    def test_rank_wraps_modulo_runnable(self):
+        sched, machine = _scheduler(self._racing_writers())
+        sched.set_nudges({0: 2})  # 2 % 2 runnable threads == rank 0
+        sched.run()
+        assert machine.trace.load(0x8) == 2
+
+    def test_set_nudges_copies_and_resets(self):
+        sched, machine = _scheduler(self._racing_writers())
+        nudges = {0: 1}
+        sched.set_nudges(nudges)
+        nudges[0] = 0  # caller mutation must not leak in
+        sched.set_nudges(None)  # back to the heap path
+        sched.run()
+        assert machine.trace.load(0x8) == 2
+
+    def test_executed_ops_counts_all_threads(self):
+        sched, _ = _scheduler(self._racing_writers())
+        sched.set_nudges({})
+        sched.run()
+        assert sched.executed_ops == 2
+
+    def test_empty_nudges_match_heap_makespan(self):
+        def worker(cycles):
+            def gen(tid):
+                for _ in range(3):
+                    yield work(cycles)
+            return gen
+
+        plain, _ = _scheduler([worker(10), worker(25)])
+        nudged, _ = _scheduler([worker(10), worker(25)])
+        nudged.set_nudges({})
+        assert plain.run() == nudged.run()
+
+    def test_max_ops_guard_active_under_nudges(self):
+        def forever(tid):
+            while True:
+                yield work(1)
+
+        sched, _ = _scheduler([forever])
+        sched.set_nudges({3: 1})
+        sched.max_ops = 50
+        with pytest.raises(RuntimeError, match="max_ops"):
+            sched.run()
+
+
 class TestMachineOps:
     def test_cas_result_tuple(self):
         m = Machine(CFG, "nop")
