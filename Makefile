@@ -6,7 +6,7 @@ PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
 .PHONY: help test smoke selftest fuzz-smoke provenance figures trace \
-        bench-report clean
+        bench-report profile perf-smoke clean
 
 help:
 	@echo "make test          - full tier-1 suite"
@@ -21,6 +21,11 @@ help:
 	@echo "make trace         - example Chrome/Perfetto trace"
 	@echo "make bench-report  - benchmark dashboard vs stored baselines"
 	@echo "                     (exits nonzero on regression)"
+	@echo "make profile       - cProfile one figure cell on the batch"
+	@echo "                     engine (top-20 by cumtime/tottime)"
+	@echo "make perf-smoke    - cold fig5 cell through the batch engine,"
+	@echo "                     gated vs benchmarks/baselines/ (fails on"
+	@echo "                     >50% slowdown or any makespan change)"
 	@echo "make clean         - remove caches and generated artifacts"
 
 # Full tier-1 suite (what CI gates on).
@@ -70,6 +75,19 @@ figures:
 # Example Chrome/Perfetto trace of a small LRP run.
 trace:
 	$(PY) -m repro.obs trace lrp-trace.json --mechanism lrp
+
+# cProfile one cold figure cell (hashmap/lrp, quick scale) on the
+# batch engine. `--engine reference` flips to the per-op heap loop
+# for before/after comparisons; captured listings live in examples/.
+profile:
+	$(PY) -m repro.bench.profile --top 20
+
+# CI perf smoke: one cold fig5 cell through the batch engine, checked
+# against the committed baseline. Makespans are deterministic (any
+# change fails); wall time gets a generous +50% noise allowance.
+perf-smoke:
+	$(PY) -m repro.bench.profile --top 0 \
+		--check-against benchmarks/baselines/BENCH_profile.json
 
 # Cross-run benchmark regression dashboard: refresh the runner
 # snapshot, compare every BENCH_*.json against benchmarks/baselines/,

@@ -18,9 +18,12 @@ ratios that drive the results:
 * **non-memory work per instruction** — ``compute_cycles_per_op=4``
   stands in for the ALU/branch work between memory accesses.
 
-Both a ``quick`` scale (seconds per experiment, used by the pytest
-benchmarks) and a ``full`` scale (minutes, closer to paper ratios) are
-provided.
+Three scales are provided: ``quick`` (seconds per experiment, used by
+the pytest benchmarks), ``full`` (minutes, closer to paper ratios) and
+``paper`` (the paper's element counts outright with hundreds of ops
+per thread — sized for overnight sweeps on the batch engine, not for
+interactive use; see ``repro.bench.profile`` for per-cell timing and
+full-sweep projection).
 """
 
 from __future__ import annotations
@@ -91,7 +94,21 @@ _FULL: Dict[str, WorkloadScale] = {
     "queue": WorkloadScale(initial_size=2048, ops_per_thread=64),
 }
 
-SCALES = {"quick": _QUICK, "full": _FULL}
+# Paper scale: 256K-element O(1)/O(log n) structures (the paper's
+# mid-range sizing) and enough ops per thread that the measured phase
+# dominates warmup. A single fig5 cell at this scale is minutes on the
+# batch engine; the full 20-cell sweep is an overnight job. The O(n)
+# linked list stays at 1K elements — beyond that its traversals alone
+# dwarf every persistency effect being measured.
+_PAPER: Dict[str, WorkloadScale] = {
+    "linkedlist": WorkloadScale(initial_size=1024, ops_per_thread=48),
+    "hashmap": WorkloadScale(initial_size=262144, ops_per_thread=512),
+    "bstree": WorkloadScale(initial_size=262144, ops_per_thread=384),
+    "skiplist": WorkloadScale(initial_size=262144, ops_per_thread=256),
+    "queue": WorkloadScale(initial_size=65536, ops_per_thread=512),
+}
+
+SCALES = {"quick": _QUICK, "full": _FULL, "paper": _PAPER}
 
 
 def figure_spec(workload: str, *, num_threads: int = 32,

@@ -20,57 +20,109 @@ Persistency interplay (who calls whom):
   cycles charged to the requester.
 * Mechanisms may *block* a line at the directory until a persist ack
   (LRP invariant I4); subsequent accesses to that line wait it out.
+
+Storage layout: line addresses are interned to dense line ids
+(:class:`~repro.common.tables.LineIdMap`); per-line owner state lives
+in a flat ``array('i')`` (-1 = no owner) and the sharer set in a list
+of per-line core bitmasks (Python ints, so core counts above the word
+size still work). :class:`_DirEntry` remains as a view over those
+tables for tests and diagnostics.
 """
 
 from __future__ import annotations
 
-import dataclasses
+from array import array
 from typing import Dict, List, Optional, Set
 
-from repro.coherence.l1cache import CacheLine, L1Cache, MESIState
+from repro.coherence.l1cache import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    SHARED,
+    CacheLine,
+    L1Cache,
+    MESIState,
+)
 from repro.coherence.noc import MeshNoC
 from repro.common.params import MachineConfig
+from repro.common.tables import LineIdMap
 from repro.obs import Observer
 
+# The three result records below are plain __slots__ classes rather
+# than dataclasses: one is allocated per miss/eviction/downgrade, and
+# skipping the per-instance __dict__ is measurable at bench scale.
 
-@dataclasses.dataclass
+
 class Downgrade:
     """A remote owner's line was demoted on behalf of the requester."""
 
-    owner: int
-    line: CacheLine
-    to_state: MESIState          # SHARED (read request) or INVALID (write)
-    had_pending: bool            # dirty words existed before the demotion
-    was_modified: bool = False   # line held modified data (a writeback)
+    __slots__ = ("owner", "line", "to_state", "had_pending", "was_modified")
+
+    def __init__(self, owner: int, line: CacheLine, to_state: MESIState,
+                 had_pending: bool, was_modified: bool = False) -> None:
+        self.owner = owner
+        self.line = line
+        self.to_state = to_state     # SHARED (read req.) or INVALID (write)
+        self.had_pending = had_pending   # dirty words before the demotion
+        self.was_modified = was_modified  # held modified data (a writeback)
 
 
-@dataclasses.dataclass
 class Eviction:
     """A victim line displaced from the requester's own L1."""
 
-    core: int
-    line: CacheLine
-    had_pending: bool
-    was_modified: bool = False
+    __slots__ = ("core", "line", "had_pending", "was_modified")
+
+    def __init__(self, core: int, line: CacheLine, had_pending: bool,
+                 was_modified: bool = False) -> None:
+        self.core = core
+        self.line = line
+        self.had_pending = had_pending
+        self.was_modified = was_modified
 
 
-@dataclasses.dataclass
 class AccessResult:
     """Outcome of one coherence access (before persistency stalls)."""
 
-    latency: int
-    l1_hit: bool
-    block_wait: int = 0
-    eviction: Optional[Eviction] = None
-    downgrade: Optional[Downgrade] = None
-    invalidated_sharers: int = 0
-    line: Optional[CacheLine] = None   # the requester's (now valid) line
+    __slots__ = ("latency", "l1_hit", "block_wait", "eviction",
+                 "downgrade", "invalidated_sharers", "line")
+
+    def __init__(self, latency: int, l1_hit: bool, block_wait: int = 0,
+                 eviction: Optional[Eviction] = None,
+                 downgrade: Optional[Downgrade] = None,
+                 invalidated_sharers: int = 0,
+                 line: Optional[CacheLine] = None) -> None:
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.block_wait = block_wait
+        self.eviction = eviction
+        self.downgrade = downgrade
+        self.invalidated_sharers = invalidated_sharers
+        self.line = line   # the requester's (now valid) line
 
 
-@dataclasses.dataclass
 class _DirEntry:
-    owner: Optional[int] = None        # core holding M or E
-    sharers: Set[int] = dataclasses.field(default_factory=set)
+    """View of one line's directory state over the fabric's tables."""
+
+    __slots__ = ("_fabric", "_lid")
+
+    def __init__(self, fabric: "CoherenceFabric", lid: int) -> None:
+        self._fabric = fabric
+        self._lid = lid
+
+    @property
+    def owner(self) -> Optional[int]:
+        owner = self._fabric._owner[self._lid]
+        return None if owner < 0 else owner
+
+    @property
+    def sharers(self) -> Set[int]:
+        mask = self._fabric._sharers[self._lid]
+        cores = set()
+        while mask:
+            low = mask & -mask
+            cores.add(low.bit_length() - 1)
+            mask ^= low
+        return cores
 
 
 class CoherenceFabric:
@@ -85,8 +137,17 @@ class CoherenceFabric:
             L1Cache(core_id, config, obs=obs)
             for core_id in range(config.num_cores)
         ]
-        self._dir: Dict[int, _DirEntry] = {}
+        self._lids = LineIdMap()
+        self._owner = array("i")       # line id -> owning core, -1 = none
+        self._sharers: List[int] = []  # line id -> sharer core bitmask
         self._blocked_until: Dict[int, int] = {}
+        # Hot-path constants: miss handling reads these several times
+        # per access, and frozen-dataclass field access is not free.
+        self._l1_hit = config.l1_hit_cycles
+        self._llc_hit = config.llc_hit_cycles
+        self._ncores = config.num_cores
+        self._home_shift = config.line_offset_bits
+        self._lat = self.noc._latency_table
 
     # ------------------------------------------------------------------
     # Directory-side services used by persistency mechanisms
@@ -102,16 +163,18 @@ class CoherenceFabric:
     def blocked_until(self, line_addr: int) -> int:
         return self._blocked_until.get(line_addr, 0)
 
-    def _entry(self, line_addr: int) -> _DirEntry:
-        entry = self._dir.get(line_addr)
-        if entry is None:
-            entry = _DirEntry()
-            self._dir[line_addr] = entry
-        return entry
+    def _intern(self, line_addr: int) -> int:
+        """The line's dense id, allocating directory state on first use."""
+        lid = self._lids.index.get(line_addr)
+        if lid is None:
+            lid = self._lids.intern(line_addr)
+            self._owner.append(-1)
+            self._sharers.append(0)
+        return lid
 
     def directory_state(self, line_addr: int) -> _DirEntry:
         """Read-only view of a line's directory entry (for tests)."""
-        return self._entry(line_addr)
+        return _DirEntry(self, self._intern(line_addr))
 
     # ------------------------------------------------------------------
     # The access path
@@ -124,17 +187,16 @@ class CoherenceFabric:
         Applies all coherence transitions and returns latency plus the
         side effects; persistency stalls are layered on by the caller.
         """
-        cfg = self._config
         l1 = self.l1s[core_id]
         line = l1.lookup(line_addr)
-        home = self.noc.home_tile(line_addr)
+        home = (line_addr >> self._home_shift) % self._ncores
 
-        if line is not None and line.state is not MESIState.INVALID:
-            if not exclusive or line.state in (MESIState.MODIFIED,
-                                               MESIState.EXCLUSIVE):
-                if exclusive and line.state is MESIState.EXCLUSIVE:
-                    line.state = MESIState.MODIFIED  # silent E->M upgrade
-                return AccessResult(latency=cfg.l1_hit_cycles, l1_hit=True,
+        if line is not None and line.state is not INVALID:
+            state = line.state
+            if not exclusive or state is MODIFIED or state is EXCLUSIVE:
+                if exclusive and state is EXCLUSIVE:
+                    line.state = MODIFIED  # silent E->M upgrade
+                return AccessResult(latency=self._l1_hit, l1_hit=True,
                                     line=line)
             # S -> M upgrade: invalidate the other sharers via the home.
             return self._upgrade(core_id, line, home, now)
@@ -142,84 +204,159 @@ class CoherenceFabric:
         return self._miss(core_id, line_addr, home, exclusive=exclusive,
                           now=now)
 
+    def _invalidate_mask(self, mask: int, core_id: int,
+                         line_addr: int) -> int:
+        """Invalidate every sharer in ``mask`` except ``core_id``."""
+        invalidated = 0
+        mask &= ~(1 << core_id)
+        l1s = self.l1s
+        # Set geometry is config-wide: derive the index once, not per
+        # sharer (a hot line can have every other core in the mask).
+        set_index = l1s[0]._set_index(line_addr)
+        while mask:
+            low = mask & -mask
+            # Inline _invalidate_sharer: fused lookup + remove (the
+            # helpers would each re-derive the set index and re-probe
+            # the slot dict; this loop is the invalidation hot path).
+            l1 = l1s[low.bit_length() - 1]
+            cache_set = l1._sets[set_index]
+            slot = cache_set.get(line_addr)
+            if slot is not None:
+                line = l1.lines[slot]
+                if line.pending_words:
+                    raise AssertionError(
+                        "a SHARED line must not hold unpersisted writes")
+                del cache_set[line_addr]
+                line._detach()
+            invalidated += 1
+            mask ^= low
+        return invalidated
+
     def _upgrade(self, core_id: int, line: CacheLine, home: int,
                  now: int) -> AccessResult:
-        cfg = self._config
         line_addr = line.addr
-        entry = self._entry(line_addr)
-        arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id, home)
-        block_wait = max(0, self.blocked_until(line_addr) - arrival)
-        if self.obs is not None:
-            self.obs.count("dir.upgrades")
+        lid = self._intern(line_addr)
+        obs = self.obs
+        if obs is not None:
+            # Observed path: keep the exact per-call noc.latency pattern
+            # (each call counts a NoC message) of the original model.
+            cfg = self._config
+            arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id,
+                                                                 home)
+            block_wait = max(0, self.blocked_until(line_addr) - arrival)
+            obs.count("dir.upgrades")
             if block_wait:
-                self.obs.count("dir.block_wait_cycles", block_wait)
-                self.obs.observe("dir.block_wait", block_wait)
-        invalidated = 0
-        for sharer in list(entry.sharers):
-            if sharer == core_id:
-                continue
-            self._invalidate_sharer(sharer, line_addr)
-            invalidated += 1
-        entry.sharers = set()
-        entry.owner = core_id
-        line.state = MESIState.MODIFIED
-        latency = (cfg.l1_hit_cycles + 2 * self.noc.latency(core_id, home)
-                   + cfg.llc_hit_cycles + block_wait)
+                obs.count("dir.block_wait_cycles", block_wait)
+                obs.observe("dir.block_wait", block_wait)
+            invalidated = self._invalidate_mask(self._sharers[lid], core_id,
+                                                line_addr)
+            self._sharers[lid] = 0
+            self._owner[lid] = core_id
+            line.state = MODIFIED
+            latency = (cfg.l1_hit_cycles
+                       + 2 * self.noc.latency(core_id, home)
+                       + cfg.llc_hit_cycles + block_wait)
+            if invalidated:
+                latency += self.noc.latency(home, core_id)  # inv/ack round
+            return AccessResult(latency=latency, l1_hit=False,
+                                block_wait=block_wait,
+                                invalidated_sharers=invalidated, line=line)
+        req_home = self._lat[core_id * self._ncores + home]
+        if self._blocked_until:
+            block_wait = (self._blocked_until.get(line_addr, 0)
+                          - (now + self._l1_hit + req_home))
+            if block_wait < 0:
+                block_wait = 0
+        else:
+            block_wait = 0
+        mask = self._sharers[lid]
+        invalidated = (self._invalidate_mask(mask, core_id, line_addr)
+                       if mask else 0)
+        self._sharers[lid] = 0
+        self._owner[lid] = core_id
+        line.state = MODIFIED
+        latency = self._l1_hit + 2 * req_home + self._llc_hit + block_wait
         if invalidated:
-            latency += self.noc.latency(home, core_id)  # inv/ack round, overlapped
+            # inv/ack round, overlapped
+            latency += self._lat[home * self._ncores + core_id]
         return AccessResult(latency=latency, l1_hit=False,
                             block_wait=block_wait,
                             invalidated_sharers=invalidated, line=line)
 
     def _miss(self, core_id: int, line_addr: int, home: int, *,
               exclusive: bool, now: int) -> AccessResult:
-        cfg = self._config
         l1 = self.l1s[core_id]
-        entry = self._entry(line_addr)
+        lid = self._lids.index.get(line_addr)
+        if lid is None:
+            lid = self._lids.intern(line_addr)
+            self._owner.append(-1)
+            self._sharers.append(0)
 
-        arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id, home)
-        block_wait = max(0, self.blocked_until(line_addr) - arrival)
-        if self.obs is not None:
-            self.obs.count("dir.misses")
+        # Latency accounting forks on the observer: the observed path
+        # repeats the original per-call noc.latency pattern (each call
+        # counts a NoC message), the unobserved one indexes the flat
+        # latency matrix directly. Transition logic is shared.
+        obs = self.obs
+        n = self._ncores
+        if obs is None:
+            req_home = self._lat[core_id * n + home]
+            if self._blocked_until:
+                block_wait = (self._blocked_until.get(line_addr, 0)
+                              - (now + self._l1_hit + req_home))
+                if block_wait < 0:
+                    block_wait = 0
+            else:
+                block_wait = 0
+            latency = self._l1_hit + req_home + self._llc_hit + block_wait
+        else:
+            cfg = self._config
+            arrival = now + cfg.l1_hit_cycles + self.noc.latency(core_id,
+                                                                 home)
+            block_wait = max(0, self.blocked_until(line_addr) - arrival)
+            obs.count("dir.misses")
             if block_wait:
-                self.obs.count("dir.block_wait_cycles", block_wait)
-                self.obs.observe("dir.block_wait", block_wait)
+                obs.count("dir.block_wait_cycles", block_wait)
+                obs.observe("dir.block_wait", block_wait)
+            latency = (cfg.l1_hit_cycles + self.noc.latency(core_id, home)
+                       + cfg.llc_hit_cycles + block_wait)
 
         downgrade: Optional[Downgrade] = None
-        latency = (cfg.l1_hit_cycles + self.noc.latency(core_id, home)
-                   + cfg.llc_hit_cycles + block_wait)
-
-        if entry.owner is not None and entry.owner != core_id:
-            owner = entry.owner
+        owner = self._owner[lid]
+        if owner >= 0 and owner != core_id:
             owner_line = self.l1s[owner].lookup(line_addr, touch=False)
             if owner_line is None:
                 raise AssertionError(
                     f"directory names core {owner} owner of "
                     f"{line_addr:#x} but the line is not resident")
-            to_state = MESIState.INVALID if exclusive else MESIState.SHARED
+            to_state = INVALID if exclusive else SHARED
             downgrade = Downgrade(
-                owner=owner, line=owner_line, to_state=to_state,
-                had_pending=owner_line.has_pending,
-                was_modified=owner_line.state is MESIState.MODIFIED)
-            latency += (self.noc.latency(home, owner) + cfg.l1_hit_cycles
-                        + self.noc.latency(owner, core_id))
-            if to_state is MESIState.INVALID:
+                owner, owner_line, to_state, owner_line.has_pending,
+                owner_line.state is MODIFIED)
+            if obs is None:
+                latency += (self._lat[home * n + owner] + self._l1_hit
+                            + self._lat[owner * n + core_id])
+            else:
+                latency += (self.noc.latency(home, owner)
+                            + self._config.l1_hit_cycles
+                            + self.noc.latency(owner, core_id))
+            if to_state is INVALID:
                 self.l1s[owner].remove(line_addr)
             else:
-                owner_line.state = MESIState.SHARED
-                entry.sharers.add(owner)
-            entry.owner = None
+                owner_line.state = SHARED
+                self._sharers[lid] |= 1 << owner
+            self._owner[lid] = -1
+        elif obs is None:
+            latency += self._lat[home * n + core_id]
         else:
             latency += self.noc.latency(home, core_id)
 
         invalidated = 0
         if exclusive:
-            for sharer in list(entry.sharers):
-                if sharer == core_id:
-                    continue
-                self._invalidate_sharer(sharer, line_addr)
-                invalidated += 1
-            entry.sharers = set()
+            mask = self._sharers[lid]
+            if mask:
+                invalidated = self._invalidate_mask(mask, core_id,
+                                                    line_addr)
+                self._sharers[lid] = 0
 
         # Make room in the requester's set.
         eviction: Optional[Eviction] = None
@@ -228,14 +365,14 @@ class CoherenceFabric:
             eviction = self._evict(core_id, victim)
 
         if exclusive:
-            new_state = MESIState.MODIFIED
-            entry.owner = core_id
-        elif not entry.sharers and entry.owner is None:
-            new_state = MESIState.EXCLUSIVE
-            entry.owner = core_id
+            new_state = MODIFIED
+            self._owner[lid] = core_id
+        elif not self._sharers[lid] and self._owner[lid] < 0:
+            new_state = EXCLUSIVE
+            self._owner[lid] = core_id
         else:
-            new_state = MESIState.SHARED
-            entry.sharers.add(core_id)
+            new_state = SHARED
+            self._sharers[lid] |= 1 << core_id
 
         filled = l1.fill(line_addr, new_state)
         return AccessResult(latency=latency, l1_hit=False,
@@ -243,24 +380,18 @@ class CoherenceFabric:
                             downgrade=downgrade,
                             invalidated_sharers=invalidated, line=filled)
 
-    def _invalidate_sharer(self, core_id: int, line_addr: int) -> None:
-        line = self.l1s[core_id].lookup(line_addr, touch=False)
-        if line is not None:
-            if line.has_pending:
-                raise AssertionError(
-                    "a SHARED line must not hold unpersisted writes")
-            self.l1s[core_id].remove(line_addr)
-
     def _evict(self, core_id: int, victim: CacheLine) -> Eviction:
         """Displace ``victim`` from ``core_id``'s L1, fixing the directory."""
-        entry = self._entry(victim.addr)
-        if entry.owner == core_id:
-            entry.owner = None
-        entry.sharers.discard(core_id)
-        self.l1s[core_id].remove(victim.addr)
-        return Eviction(core=core_id, line=victim,
-                        had_pending=victim.has_pending,
-                        was_modified=victim.state is MESIState.MODIFIED)
+        addr = victim.addr
+        lid = self._lids.index.get(addr)
+        if lid is None:
+            lid = self._intern(addr)
+        if self._owner[lid] == core_id:
+            self._owner[lid] = -1
+        self._sharers[lid] &= ~(1 << core_id)
+        self.l1s[core_id].remove(addr)
+        return Eviction(core_id, victim, victim.has_pending,
+                        victim.state is MODIFIED)
 
     # ------------------------------------------------------------------
     # Invariant checks (used by the property tests)
@@ -274,19 +405,21 @@ class CoherenceFabric:
             for line in l1.iter_lines():
                 holders.setdefault(line.addr, []).append(l1.core_id)
                 if line.state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
-                    entry = self._dir.get(line.addr)
-                    if entry is None or entry.owner != l1.core_id:
+                    lid = self._lids.get(line.addr)
+                    owner = -1 if lid is None else self._owner[lid]
+                    if owner != l1.core_id:
                         problems.append(
                             f"core {l1.core_id} holds {line.addr:#x} in "
                             f"{line.state.value} without directory ownership")
-        for addr, entry in self._dir.items():
-            if entry.owner is not None:
+        for lid, addr in enumerate(self._lids.addrs):
+            owner = self._owner[lid]
+            if owner >= 0:
                 for l1 in self.l1s:
                     line = l1.lookup(addr, touch=False)
-                    if (l1.core_id != entry.owner and line is not None
+                    if (l1.core_id != owner and line is not None
                             and line.state is not MESIState.INVALID):
                         problems.append(
-                            f"{addr:#x} owned by {entry.owner} but also "
+                            f"{addr:#x} owned by {owner} but also "
                             f"valid in core {l1.core_id}")
         for addr, cores in holders.items():
             m_holders = [

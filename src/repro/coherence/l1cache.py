@@ -12,15 +12,23 @@ The same two metadata fields serve the BB mechanism (per-line epoch-id
 of cache-based buffered epoch persistency, Section 2.2.1) — this is
 faithful to the paper, which frames LRP's metadata as an extension of
 the cache-based BEP approach.
+
+Storage layout: coherence state and LRU ticks live in flat per-slot
+tables (``state_codes`` bytearray / ``lru`` list, one entry per way of
+every set) so the batch engine (:mod:`repro.core.fastsim`) can test
+hit/miss and MESI state with two integer loads. :class:`CacheLine`
+remains the object API over that storage — while a line is resident it
+is a *view* attached to its slot (``state``/``lru_tick`` read the
+tables); on ``remove`` it detaches, capturing its final table state, so
+eviction/invalidation handlers that inspect the line afterwards see
+exactly what the old dict-of-objects design gave them.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
-from repro.common.compat import DATACLASS_SLOTS
 from repro.common.params import MachineConfig
 
 if TYPE_CHECKING:
@@ -44,20 +52,103 @@ EXCLUSIVE = MESIState.EXCLUSIVE
 SHARED = MESIState.SHARED
 INVALID = MESIState.INVALID
 
+# Table encoding of MESI state. Code 0 is reserved for "slot empty" so
+# a one-byte load answers both residency and state questions.
+EMPTY_CODE = 0
+MODIFIED_CODE = 1
+EXCLUSIVE_CODE = 2
+SHARED_CODE = 3
+INVALID_CODE = 4
 
-@dataclasses.dataclass(**DATACLASS_SLOTS)
+STATE_TO_CODE = {
+    MODIFIED: MODIFIED_CODE,
+    EXCLUSIVE: EXCLUSIVE_CODE,
+    SHARED: SHARED_CODE,
+    INVALID: INVALID_CODE,
+}
+CODE_TO_STATE = (None, MODIFIED, EXCLUSIVE, SHARED, INVALID)
+
+
 class CacheLine:
-    """One L1 cache line (tag + coherence + persistency metadata)."""
+    """One L1 cache line (tag + coherence + persistency metadata).
 
-    addr: int                      # line-aligned base address
-    state: MESIState = INVALID
-    # Persistency metadata -------------------------------------------------
-    pending_words: Dict[int, Tuple[Word, int]] = dataclasses.field(
-        default_factory=dict)      # word addr -> (value, store event id)
-    min_epoch: Optional[int] = None
-    release_bit: bool = False
-    # Replacement ----------------------------------------------------------
-    lru_tick: int = 0
+    Constructible standalone (unit tests build free-floating lines);
+    inside an :class:`L1Cache` it is attached to a slot and its
+    ``state``/``lru_tick`` are backed by the cache's flat tables.
+    """
+
+    __slots__ = ("addr", "pending_words", "min_epoch", "release_bit",
+                 "_cache", "_slot", "_state", "_lru_tick")
+
+    def __init__(self, addr: int, state: MESIState = INVALID,
+                 pending_words: Optional[Dict[int, Tuple[Word, int]]] = None,
+                 min_epoch: Optional[int] = None,
+                 release_bit: bool = False, lru_tick: int = 0) -> None:
+        self.addr = addr               # line-aligned base address
+        # Persistency metadata: word addr -> (value, store event id)
+        self.pending_words: Dict[int, Tuple[Word, int]] = (
+            {} if pending_words is None else pending_words)
+        self.min_epoch = min_epoch
+        self.release_bit = release_bit
+        self._cache: Optional["L1Cache"] = None
+        self._slot = -1
+        self._state = state
+        self._lru_tick = lru_tick
+
+    def __repr__(self) -> str:
+        return (f"CacheLine(addr={self.addr:#x}, state={self.state.value},"
+                f" pending={len(self.pending_words)})")
+
+    # -- table-backed fields ----------------------------------------------
+
+    @property
+    def state(self) -> MESIState:
+        cache = self._cache
+        if cache is not None:
+            return CODE_TO_STATE[cache.state_codes[self._slot]]
+        return self._state
+
+    @state.setter
+    def state(self, value: MESIState) -> None:
+        cache = self._cache
+        if cache is not None:
+            cache.state_codes[self._slot] = STATE_TO_CODE[value]
+        else:
+            self._state = value
+
+    @property
+    def lru_tick(self) -> int:
+        cache = self._cache
+        if cache is not None:
+            return cache.lru[self._slot]
+        return self._lru_tick
+
+    @lru_tick.setter
+    def lru_tick(self, value: int) -> None:
+        cache = self._cache
+        if cache is not None:
+            cache.lru[self._slot] = value
+        else:
+            self._lru_tick = value
+
+    def _attach(self, cache: "L1Cache", slot: int) -> None:
+        cache.state_codes[slot] = STATE_TO_CODE[self._state]
+        cache.lru[slot] = self._lru_tick
+        cache.lines[slot] = self
+        self._cache = cache
+        self._slot = slot
+
+    def _detach(self) -> None:
+        cache = self._cache
+        slot = self._slot
+        self._state = CODE_TO_STATE[cache.state_codes[slot]]
+        self._lru_tick = cache.lru[slot]
+        cache.state_codes[slot] = EMPTY_CODE
+        cache.lines[slot] = None
+        self._cache = None
+        self._slot = -1
+
+    # -- persistency metadata ---------------------------------------------
 
     @property
     def has_pending(self) -> bool:
@@ -91,7 +182,15 @@ class CacheLine:
 
 
 class L1Cache:
-    """Set-associative, LRU, write-back private L1."""
+    """Set-associative, LRU, write-back private L1.
+
+    Way slots are numbered ``set * assoc + way``; ``state_codes[slot]``
+    (0 = empty) and ``lru[slot]`` are the authoritative coherence /
+    replacement state, ``lines[slot]`` the attached view objects, and
+    ``_sets[set]`` maps resident line addr -> slot in insertion order
+    (scan order must match the old per-set dict storage so persist
+    streams are bit-identical).
+    """
 
     def __init__(self, core_id: int, config: MachineConfig,
                  obs: Optional["Observer"] = None) -> None:
@@ -100,7 +199,11 @@ class L1Cache:
         self._config = config
         self._num_sets = config.l1_num_sets
         self._assoc = config.l1_assoc
-        self._sets: List[Dict[int, CacheLine]] = [
+        num_slots = self._num_sets * self._assoc
+        self.state_codes = bytearray(num_slots)
+        self.lru: List[int] = [0] * num_slots
+        self.lines: List[Optional[CacheLine]] = [None] * num_slots
+        self._sets: List[Dict[int, int]] = [
             {} for _ in range(self._num_sets)
         ]
         self._tick = 0
@@ -116,10 +219,6 @@ class L1Cache:
             return (line_addr >> self._line_shift) & self._set_mask
         return (line_addr >> self._line_shift) % self._num_sets
 
-    def _touch(self, line: CacheLine) -> None:
-        self._tick += 1
-        line.lru_tick = self._tick
-
     # ------------------------------------------------------------------
     # Lookup / fill / evict
     # ------------------------------------------------------------------
@@ -127,29 +226,50 @@ class L1Cache:
     def lookup(self, line_addr: int, *, touch: bool = True
                ) -> Optional[CacheLine]:
         """Return the resident line, or None on a miss."""
-        line = self._sets[self._set_index(line_addr)].get(line_addr)
-        if line is not None and touch:
+        slot = self._sets[self._set_index(line_addr)].get(line_addr)
+        if slot is None:
+            return None
+        if touch:
             self._tick += 1
-            line.lru_tick = self._tick
-        return line
+            self.lru[slot] = self._tick
+        return self.lines[slot]
 
     def select_victim(self, line_addr: int) -> Optional[CacheLine]:
         """The LRU line that a fill of ``line_addr`` would displace."""
         cache_set = self._sets[self._set_index(line_addr)]
         if len(cache_set) < self._assoc:
             return None
-        return min(cache_set.values(), key=lambda l: l.lru_tick)
+        slot = min(cache_set.values(), key=self.lru.__getitem__)
+        return self.lines[slot]
 
     def fill(self, line_addr: int, state: MESIState) -> CacheLine:
         """Install a line (caller must have evicted the victim first)."""
-        cache_set = self._sets[self._set_index(line_addr)]
+        set_index = self._set_index(line_addr)
+        cache_set = self._sets[set_index]
         if line_addr in cache_set:
             raise ValueError(f"line {line_addr:#x} already resident")
         if len(cache_set) >= self._assoc:
             raise ValueError("set full: evict the victim before filling")
-        line = CacheLine(addr=line_addr, state=state)
-        cache_set[line_addr] = line
-        self._touch(line)
+        codes = self.state_codes
+        slot = set_index * self._assoc
+        while codes[slot]:
+            slot += 1
+        # Fused construct-and-attach (one fill per miss at bench scale):
+        # equivalent to CacheLine(line_addr, state) + _attach(self, slot).
+        line = CacheLine.__new__(CacheLine)
+        line.addr = line_addr
+        line.pending_words = {}
+        line.min_epoch = None
+        line.release_bit = False
+        line._state = state
+        line._lru_tick = 0
+        line._cache = self
+        line._slot = slot
+        codes[slot] = STATE_TO_CODE[state]
+        self.lines[slot] = line
+        cache_set[line_addr] = slot
+        self._tick += 1
+        self.lru[slot] = self._tick
         if self.obs is not None:
             self.obs.count("l1.fills")
             self.obs.observe("l1.set_occupancy", len(cache_set))
@@ -158,9 +278,11 @@ class L1Cache:
     def remove(self, line_addr: int) -> CacheLine:
         """Take a line out of the cache (eviction or invalidation)."""
         cache_set = self._sets[self._set_index(line_addr)]
-        line = cache_set.pop(line_addr, None)
-        if line is None:
+        slot = cache_set.pop(line_addr, None)
+        if slot is None:
             raise KeyError(f"line {line_addr:#x} not resident")
+        line = self.lines[slot]
+        line._detach()
         return line
 
     # ------------------------------------------------------------------
@@ -169,8 +291,10 @@ class L1Cache:
 
     def iter_lines(self) -> Iterator[CacheLine]:
         """All resident lines (the persist engine's L1 scan)."""
+        lines = self.lines
         for cache_set in self._sets:
-            yield from cache_set.values()
+            for slot in cache_set.values():
+                yield lines[slot]
 
     def pending_lines(self) -> List[CacheLine]:
         """All lines holding unpersisted writes."""

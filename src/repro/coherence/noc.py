@@ -26,6 +26,24 @@ class MeshNoC:
         self._config = config
         self._obs = obs
         self._dim = config.mesh_dim
+        self._line_shift = config.line_offset_bits
+        self._num_cores = config.num_cores
+        # Latencies are pure functions of (tile, tile); the access path
+        # asks for them several times per miss, so flatten the whole
+        # matrix once (num_cores^2 entries, tiny) and index it.
+        dim = self._dim
+        hop = config.noc_hop_cycles
+        table = []
+        for a in range(self._num_cores):
+            ax, ay = a % dim, a // dim
+            for b in range(self._num_cores):
+                if a == b:
+                    table.append(1)
+                else:
+                    bx, by = b % dim, b // dim
+                    hops = abs(ax - bx) + abs(ay - by)
+                    table.append(hops * hop + 1)
+        self._latency_table = table
 
     @property
     def dim(self) -> int:
@@ -33,7 +51,7 @@ class MeshNoC:
 
     def home_tile(self, line_addr: int) -> int:
         """The tile whose LLC bank/directory owns this line."""
-        return (line_addr // self._config.line_bytes) % self._config.num_cores
+        return (line_addr >> self._line_shift) % self._num_cores
 
     def hop_distance(self, tile_a: int, tile_b: int) -> int:
         """Manhattan distance between two tiles on the mesh."""
@@ -43,12 +61,12 @@ class MeshNoC:
 
     def latency(self, tile_a: int, tile_b: int) -> int:
         """One-way message latency between two tiles."""
+        if self._obs is None:
+            return self._latency_table[tile_a * self._num_cores + tile_b]
         if tile_a == tile_b:
-            if self._obs is not None:
-                self._obs.count("noc.msgs")
+            self._obs.count("noc.msgs")
             return 1
         hops = self.hop_distance(tile_a, tile_b)
-        if self._obs is not None:
-            self._obs.count("noc.msgs")
-            self._obs.count("noc.hops", hops)
+        self._obs.count("noc.msgs")
+        self._obs.count("noc.hops", hops)
         return hops * self._config.noc_hop_cycles + 1

@@ -20,11 +20,8 @@ only the retained ``events`` list differs.
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 from typing import Dict, List, Optional, Tuple
-
-from repro.common.compat import DATACLASS_SLOTS
 
 Word = Optional[int]
 
@@ -52,7 +49,14 @@ class EventKind(enum.Enum):
     RMW = "rmw"  # compare-and-swap / fetch-op (read + conditional write)
 
 
-@dataclasses.dataclass(frozen=True, **DATACLASS_SLOTS)
+# Hot-path aliases (enum member access goes through the metaclass).
+_READ_EVENT = EventKind.READ
+_WRITE_EVENT = EventKind.WRITE
+_RMW_EVENT = EventKind.RMW
+_RELEASE = MemOrder.RELEASE
+_ACQ_REL = MemOrder.ACQ_REL
+
+
 class MemoryEvent:
     """One executed memory operation.
 
@@ -64,19 +68,55 @@ class MemoryEvent:
     reads from (thread that performed it, and whether it was a
     release), captured at record time so synchronizes-with edges can be
     resolved without the retained event list.
+
+    A plain __slots__ class (one event per memory operation at bench
+    scale — dataclass construction overhead is measurable here).
     """
 
-    event_id: int
-    thread_id: int
-    kind: EventKind
-    order: MemOrder
-    addr: int
-    value: Word = None          # value written (WRITE / successful RMW)
-    read_value: Word = None     # value observed (READ / RMW)
-    reads_from: Optional[int] = None  # event_id of the write observed
-    success: bool = True        # False only for a failed RMW
-    source_thread: Optional[int] = None  # thread of the write observed
-    source_release: bool = False         # that write was a release
+    __slots__ = ("event_id", "thread_id", "kind", "order", "addr",
+                 "value", "read_value", "reads_from", "success",
+                 "source_thread", "source_release")
+
+    def __init__(self, event_id: int, thread_id: int, kind: EventKind,
+                 order: MemOrder, addr: int,
+                 value: Word = None,          # written (WRITE / good RMW)
+                 read_value: Word = None,     # observed (READ / RMW)
+                 reads_from: Optional[int] = None,  # write's event_id
+                 success: bool = True,        # False only for failed RMW
+                 source_thread: Optional[int] = None,  # observed writer
+                 source_release: bool = False  # that write was a release
+                 ) -> None:
+        self.event_id = event_id
+        self.thread_id = thread_id
+        self.kind = kind
+        self.order = order
+        self.addr = addr
+        self.value = value
+        self.read_value = read_value
+        self.reads_from = reads_from
+        self.success = success
+        self.source_thread = source_thread
+        self.source_release = source_release
+
+    def _key(self):
+        return (self.event_id, self.thread_id, self.kind, self.order,
+                self.addr, self.value, self.read_value, self.reads_from,
+                self.success, self.source_thread, self.source_release)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not MemoryEvent:
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"MemoryEvent(event_id={self.event_id}, "
+                f"thread_id={self.thread_id}, kind={self.kind!r}, "
+                f"order={self.order!r}, addr={self.addr:#x}, "
+                f"value={self.value!r}, read_value={self.read_value!r}, "
+                f"success={self.success})")
 
     @property
     def is_write_effect(self) -> bool:
@@ -133,12 +173,23 @@ class Trace:
                 "=False): the event list was not retained")
         return self._events
 
-    def initialize(self, values: Dict[int, Word]) -> None:
-        """Install initial memory values (no events are recorded)."""
+    def initialize(self, values: Dict[int, Word], *,
+                   share: bool = False) -> None:
+        """Install initial memory values (no events are recorded).
+
+        With ``share`` the caller promises never to mutate ``values``
+        again: the trace adopts the dict as its (read-only) initial
+        image directly, paying only the one copy into the mutable
+        architectural memory. Lets a memoized setup image be reused
+        across runs.
+        """
         if self._count:
             raise ValueError("initialize before recording events")
         self._memory.update(values)
-        self._initial.update(values)
+        if share and not self._initial:
+            self._initial = values
+        else:
+            self._initial.update(values)
 
     def initial_value(self, addr: int) -> Word:
         return self._initial.get(addr)
@@ -157,33 +208,31 @@ class Trace:
                     order: MemOrder = MemOrder.PLAIN) -> MemoryEvent:
         """Record a load; returns the event (with the observed value)."""
         source = self._writer_meta.get(addr)
-        return self._append(MemoryEvent(
-            event_id=self._count,
-            thread_id=thread_id,
-            kind=EventKind.READ,
-            order=order,
-            addr=addr,
-            read_value=self._memory.get(addr),
-            reads_from=self._last_writer.get(addr),
-            source_thread=source[0] if source else None,
-            source_release=source[1] if source else False,
-        ))
+        event = MemoryEvent(
+            self._count, thread_id, _READ_EVENT, order, addr,
+            None, self._memory.get(addr), self._last_writer.get(addr),
+            True,
+            source[0] if source else None,
+            source[1] if source else False,
+        )
+        self._count += 1
+        if self.record:
+            self._events.append(event)
+        return event
 
     def record_write(self, thread_id: int, addr: int, value: Word,
                      order: MemOrder = MemOrder.PLAIN) -> MemoryEvent:
         """Record a store of ``value``."""
-        event = MemoryEvent(
-            event_id=self._count,
-            thread_id=thread_id,
-            kind=EventKind.WRITE,
-            order=order,
-            addr=addr,
-            value=value,
-        )
-        self._append(event)
+        count = self._count
+        event = MemoryEvent(count, thread_id, _WRITE_EVENT, order, addr,
+                            value)
+        self._count = count + 1
+        if self.record:
+            self._events.append(event)
         self._memory[addr] = value
-        self._last_writer[addr] = event.event_id
-        self._writer_meta[addr] = (thread_id, order.has_release)
+        self._last_writer[addr] = count
+        self._writer_meta[addr] = (
+            thread_id, order is _RELEASE or order is _ACQ_REL)
         return event
 
     def record_rmw(self, thread_id: int, addr: int, expected: Word,
@@ -193,24 +242,22 @@ class Trace:
         observed = self._memory.get(addr)
         success = observed == expected
         source = self._writer_meta.get(addr)
+        count = self._count
         event = MemoryEvent(
-            event_id=self._count,
-            thread_id=thread_id,
-            kind=EventKind.RMW,
-            order=order,
-            addr=addr,
-            value=new_value if success else None,
-            read_value=observed,
-            reads_from=self._last_writer.get(addr),
-            success=success,
-            source_thread=source[0] if source else None,
-            source_release=source[1] if source else False,
+            count, thread_id, _RMW_EVENT, order, addr,
+            new_value if success else None, observed,
+            self._last_writer.get(addr), success,
+            source[0] if source else None,
+            source[1] if source else False,
         )
-        self._append(event)
+        self._count = count + 1
+        if self.record:
+            self._events.append(event)
         if success:
             self._memory[addr] = new_value
-            self._last_writer[addr] = event.event_id
-            self._writer_meta[addr] = (thread_id, order.has_release)
+            self._last_writer[addr] = count
+            self._writer_meta[addr] = (
+                thread_id, order is _RELEASE or order is _ACQ_REL)
         return event
 
     def record_unconditional_rmw(self, thread_id: int, addr: int,
@@ -220,23 +267,20 @@ class Trace:
         """Record an atomic exchange (always-successful RMW)."""
         observed = self._memory.get(addr)
         source = self._writer_meta.get(addr)
+        count = self._count
         event = MemoryEvent(
-            event_id=self._count,
-            thread_id=thread_id,
-            kind=EventKind.RMW,
-            order=order,
-            addr=addr,
-            value=new_value,
-            read_value=observed,
-            reads_from=self._last_writer.get(addr),
-            success=True,
-            source_thread=source[0] if source else None,
-            source_release=source[1] if source else False,
+            count, thread_id, _RMW_EVENT, order, addr,
+            new_value, observed, self._last_writer.get(addr), True,
+            source[0] if source else None,
+            source[1] if source else False,
         )
-        self._append(event)
+        self._count = count + 1
+        if self.record:
+            self._events.append(event)
         self._memory[addr] = new_value
-        self._last_writer[addr] = event.event_id
-        self._writer_meta[addr] = (thread_id, order.has_release)
+        self._last_writer[addr] = count
+        self._writer_meta[addr] = (
+            thread_id, order is _RELEASE or order is _ACQ_REL)
         return event
 
     # ------------------------------------------------------------------

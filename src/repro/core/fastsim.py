@@ -1,0 +1,359 @@
+"""Batched quantum execution engine — the scheduler's fast path.
+
+The reference loop in :meth:`repro.core.scheduler.Scheduler.run` pays
+a heap pop/push and a full :meth:`Machine.execute` dispatch per memory
+operation. This engine produces the *same execution bit for bit* while
+doing neither, by exploiting two structural facts:
+
+* **Quantum batching.** The scheduler always runs the thread with the
+  smallest ``(clock, thread_id)`` key, and executing an op only ever
+  *grows* that thread's clock. So after an op, if the thread's new key
+  is still below the smallest key of every other thread (the top of
+  the heap, unchanged while we stay inline), the reference loop would
+  provably pick the same thread again — we keep feeding its generator
+  without touching the heap until its clock crosses that bound.
+
+* **Inline hot ops.** An L1 hit resolves entirely from the flat tables
+  (`state_codes`/`lru` + the per-set slot dict); a plain read with
+  trace recording off only needs ``stats.reads``, the event-id counter
+  and the architectural value — the MemoryEvent it would have built is
+  written nowhere and read by nobody, so it is not built. Acquire
+  reads take the inline path only when the active mechanism's
+  ``on_acquire`` hook is structurally a no-op (detected by method
+  identity, so mechanism classes need no cooperation); everything else
+  — writes, RMWs, misses, upgrades — funnels into the same
+  ``Machine`` methods the reference path uses.
+
+The engine refuses to run (``eligible`` is False) whenever any
+observation channel is on: schedule nudges, an Observer, trace
+recording with hooks, or the tests' ``max_ops`` valve. Fuzz replays
+therefore always take the reference min-scan loop, and the
+fast-vs-reference equivalence matrix (tests/test_fastsim.py) pins that
+both paths agree on stats, persist streams and coverage maps. Set
+``REPRO_FASTSIM=0`` to force the reference loop everywhere.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import os
+
+from repro.coherence.l1cache import (
+    EXCLUSIVE_CODE,
+    MODIFIED_CODE,
+    SHARED_CODE,
+)
+from repro.consistency.events import MemOrder
+from repro.core.thread import OpKind
+from repro.persistency.base import PersistencyMechanism
+from repro.persistency.lrp import LRPMechanism
+
+_WORK = OpKind.WORK
+_READ = OpKind.READ
+_WRITE = OpKind.WRITE
+_ACQUIRE = MemOrder.ACQUIRE
+_ACQ_REL = MemOrder.ACQ_REL
+_NEVER = float("inf")
+
+
+def eligible(scheduler) -> bool:
+    """Whether the batch engine may run this scheduler's workload."""
+    return (scheduler._nudges is None
+            and scheduler.max_ops is None
+            and scheduler.machine.obs is None
+            and os.environ.get("REPRO_FASTSIM", "1") != "0")
+
+
+def acquire_hook_is_noop(mechanism) -> bool:
+    """True when ``on_acquire`` provably does nothing but return 0.
+
+    Checked by method identity: the base-class hook and LRP's override
+    (Section 5.2.2: acquires need no local action) are the only no-op
+    implementations. Any mechanism that overrides the hook with real
+    work — BB's barrier-on-acquire, ARP/DPO/HOPS's sync-source
+    handling — fails the identity test and gets the full event-built
+    path for every acquire.
+    """
+    hook = type(mechanism).on_acquire
+    return (hook is PersistencyMechanism.on_acquire
+            or hook is LRPMechanism.on_acquire)
+
+
+def run(scheduler) -> int:
+    """Execute the scheduler's threads to completion; the makespan.
+
+    Caller guarantees :func:`eligible` returned True.
+    """
+    # The loop allocates heavily (ops, events, records) but the only
+    # reference cycles it creates are line<->cache attachments, which
+    # refcounting alone reclaims once detached; pausing the cyclic
+    # collector avoids full-generation scans triggered by allocation
+    # volume.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run(scheduler)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run(scheduler) -> int:
+    machine = scheduler.machine
+    config = machine.config
+    compute = config.compute_cycles_per_op
+    l1_hit_cycles = config.l1_hit_cycles
+    line_mask = ~(config.line_bytes - 1)
+    threads = scheduler.threads
+    stats_list = machine.stats
+    trace = machine.trace
+    memory = trace._memory
+    memory_get = memory.get
+    # With recording off the per-read MemoryEvent is pure overhead
+    # (nothing retains it); with recording on every event must exist.
+    fast_reads = not trace.record
+    mechanism = machine.mechanism
+    acquire_noop = acquire_hook_is_noop(mechanism)
+    # Every in-tree on_acquire honours acquire_ignores_event, so the
+    # event can be skipped for acquire loads too: sync_source is
+    # derived from the writer-meta map exactly as _sync_source would.
+    acquire_inline = acquire_noop or mechanism.acquire_ignores_event
+    # With recording off and an event-free acquire hook, *every* read
+    # resolves inline — the per-op branch collapses to one local test.
+    inline_reads = fast_reads and acquire_inline
+    on_acquire = mechanism.on_acquire
+    writer_meta = trace._writer_meta
+    # The event-id counter is kept in a local and written back to the
+    # trace only around calls that read or bump it themselves (the
+    # do_* slow paths) and at exit: inline reads then pay a local
+    # increment instead of an attribute read-modify-write.
+    ev_count = trace._count
+    do_read = machine._do_read
+    do_write = machine._do_write
+    do_rmw = machine._do_rmw
+    coherence_access = machine.coherence_access
+    fast_miss, fast_upgrade = machine.make_fast_path()
+    l1s = machine.fabric.l1s
+    heappop, heapreplace = heapq.heappop, heapq.heapreplace
+
+    # L1 geometry is config-wide (identical across cores); the
+    # per-thread containers are bundled into one tuple so a quantum
+    # switch costs a single index + unpack.
+    geom = l1s[0]
+    shift = geom._line_shift
+    set_mask = geom._set_mask
+    num_sets = geom._num_sets
+    tstate = []
+    for t in threads:
+        l1 = l1s[t.thread_id]
+        tstate.append((t, t.gen, stats_list[t.thread_id], l1, l1._sets,
+                       l1.state_codes, l1.lru, l1.lines))
+
+    # Heap keys are single ints, ``(clock << tshift) | tid``: the
+    # packed comparison is exactly the (clock, tid) lexicographic
+    # order (tid < 2**tshift), every sift compares machine ints
+    # instead of tuples, and a yield allocates no tuple.
+    tshift = max(1, (len(threads) - 1).bit_length())
+    tmask = (1 << tshift) - 1
+    heap = [(t.clock << tshift) | t.thread_id for t in threads]
+    heapq.heapify(heap)
+    nheap = len(heap)
+    executed = scheduler._executed_ops
+    # The running thread's (stale) entry stays at heap[0] for the whole
+    # quantum: a yield is then one heapreplace (single sift) instead of
+    # a heappush + heappop pair, and the scheduling bound — the
+    # smallest key among the *other* threads — is the smaller of the
+    # root's children.
+    while nheap:
+        tid = heap[0] & tmask
+        thread, gen, stats, l1, sets, codes, lru, lines = tstate[tid]
+        clock = thread.clock
+        if nheap > 2:
+            bound = heap[1]
+            b = heap[2]
+            if b < bound:
+                bound = b
+        elif nheap == 2:
+            bound = heap[1]
+        else:
+            # Last thread standing: an unreachable bound erases the
+            # yield check from its remaining ops.
+            bound = _NEVER
+
+        # Resume the coroutine exactly as SimThread.next_op would.
+        try:
+            if thread._started:
+                op = gen.send(thread._pending_result)
+            else:
+                thread._started = True
+                op = next(gen)
+        except StopIteration:
+            stats.cycles = clock
+            thread.clock = clock
+            thread.done = True
+            heappop(heap)
+            nheap -= 1
+            continue
+
+        while True:
+            kind = op.kind
+            if kind is _READ:
+                addr = op.addr
+                line_addr = addr & line_mask
+                if set_mask is not None:
+                    set_index = (line_addr >> shift) & set_mask
+                else:
+                    set_index = (line_addr >> shift) % num_sets
+                slot = sets[set_index].get(line_addr)
+                if slot is not None:
+                    # Hit: a set never maps an INVALID slot (every
+                    # detach also deletes the set entry), so residency
+                    # alone serves a read.
+                    tick = l1._tick + 1
+                    l1._tick = tick
+                    lru[slot] = tick
+                    stats.l1_hits += 1
+                    latency = l1_hit_cycles
+                else:
+                    _line, latency = fast_miss(
+                        tid, line_addr, clock, False, set_index)
+                if inline_reads:
+                    stats.reads += 1
+                    ev_count += 1
+                    try:
+                        result = memory[addr]
+                    except KeyError:
+                        result = None  # uninitialized word reads as None
+                    order = op.order
+                    if order is _ACQUIRE or order is _ACQ_REL:
+                        stats.acquires += 1
+                        if not acquire_noop:
+                            src = writer_meta.get(addr)
+                            latency += on_acquire(
+                                tid, None, clock + latency,
+                                sync_source=src[0]
+                                if (src is not None and src[1]
+                                    and src[0] != tid) else None)
+                else:
+                    order = op.order
+                    if fast_reads and not (order is _ACQUIRE
+                                           or order is _ACQ_REL):
+                        stats.reads += 1
+                        ev_count += 1
+                        result = memory_get(addr)
+                    else:
+                        trace._count = ev_count
+                        result, latency = do_read(tid, op, clock, latency)
+                        ev_count = trace._count
+            elif kind is _WORK:
+                result = None
+                latency = op.cycles
+            else:
+                addr = op.addr
+                line_addr = addr & line_mask
+                if set_mask is not None:
+                    set_index = (line_addr >> shift) & set_mask
+                else:
+                    set_index = (line_addr >> shift) % num_sets
+                slot = sets[set_index].get(line_addr)
+                if kind is _WRITE:
+                    code = codes[slot] if slot is not None else 0
+                    if code == MODIFIED_CODE or code == EXCLUSIVE_CODE:
+                        tick = l1._tick + 1
+                        l1._tick = tick
+                        lru[slot] = tick
+                        stats.l1_hits += 1
+                        if code == EXCLUSIVE_CODE:
+                            codes[slot] = MODIFIED_CODE  # silent E->M
+                        trace._count = ev_count
+                        result, latency = do_write(
+                            tid, op, lines[slot], clock, l1_hit_cycles)
+                        ev_count = trace._count
+                    elif code == SHARED_CODE:
+                        # The reference path's lookup touches the LRU
+                        # before the S->M upgrade.
+                        tick = l1._tick + 1
+                        l1._tick = tick
+                        lru[slot] = tick
+                        line = lines[slot]
+                        latency = fast_upgrade(tid, line, clock)
+                        trace._count = ev_count
+                        result, latency = do_write(
+                            tid, op, line, clock, latency)
+                        ev_count = trace._count
+                    elif slot is None:
+                        line, latency = fast_miss(
+                            tid, line_addr, clock, True, set_index)
+                        trace._count = ev_count
+                        result, latency = do_write(
+                            tid, op, line, clock, latency)
+                        ev_count = trace._count
+                    else:
+                        line, latency = coherence_access(
+                            tid, line_addr, clock, True)
+                        trace._count = ev_count
+                        result, latency = do_write(
+                            tid, op, line, clock, latency)
+                        ev_count = trace._count
+                else:  # CAS / XCHG
+                    code = codes[slot] if slot is not None else 0
+                    if code == MODIFIED_CODE or code == EXCLUSIVE_CODE:
+                        tick = l1._tick + 1
+                        l1._tick = tick
+                        lru[slot] = tick
+                        stats.l1_hits += 1
+                        if code == EXCLUSIVE_CODE:
+                            codes[slot] = MODIFIED_CODE
+                        trace._count = ev_count
+                        result, latency = do_rmw(
+                            tid, op, lines[slot], clock, l1_hit_cycles)
+                        ev_count = trace._count
+                    elif code == SHARED_CODE:
+                        tick = l1._tick + 1
+                        l1._tick = tick
+                        lru[slot] = tick
+                        line = lines[slot]
+                        latency = fast_upgrade(tid, line, clock)
+                        trace._count = ev_count
+                        result, latency = do_rmw(
+                            tid, op, line, clock, latency)
+                        ev_count = trace._count
+                    elif slot is None:
+                        line, latency = fast_miss(
+                            tid, line_addr, clock, True, set_index)
+                        trace._count = ev_count
+                        result, latency = do_rmw(
+                            tid, op, line, clock, latency)
+                        ev_count = trace._count
+                    else:
+                        line, latency = coherence_access(
+                            tid, line_addr, clock, True)
+                        trace._count = ev_count
+                        result, latency = do_rmw(
+                            tid, op, line, clock, latency)
+                        ev_count = trace._count
+
+            clock += latency + compute
+            executed += 1
+            key = (clock << tshift) | tid
+            if key > bound:
+                # Another thread's key is now smaller: yield the core.
+                thread.clock = clock
+                thread._pending_result = result
+                heapreplace(heap, key)
+                break
+            try:
+                op = gen.send(result)
+            except StopIteration:
+                stats.cycles = clock
+                thread.clock = clock
+                thread.done = True
+                heappop(heap)
+                nheap -= 1
+                break
+
+    trace._count = ev_count
+    scheduler._executed_ops = executed
+    return scheduler.makespan()

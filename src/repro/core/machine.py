@@ -18,7 +18,18 @@ from __future__ import annotations
 from typing import Optional, Tuple, Type, Union
 
 from repro.coherence.directory import CoherenceFabric
-from repro.coherence.l1cache import MESIState
+from repro.coherence.l1cache import (
+    CODE_TO_STATE,
+    EXCLUSIVE,
+    EXCLUSIVE_CODE,
+    INVALID,
+    MODIFIED,
+    MODIFIED_CODE,
+    SHARED,
+    SHARED_CODE,
+    CacheLine,
+    MESIState,
+)
 from repro.common.params import MachineConfig
 from repro.common.stats import CoreStats
 from repro.consistency.events import MemOrder, MemoryEvent, Trace
@@ -35,6 +46,9 @@ _WORK = OpKind.WORK
 _READ = OpKind.READ
 _WRITE = OpKind.WRITE
 _CAS = OpKind.CAS
+_ACQUIRE = MemOrder.ACQUIRE
+_RELEASE = MemOrder.RELEASE
+_ACQ_REL = MemOrder.ACQ_REL
 
 
 class Machine:
@@ -143,12 +157,292 @@ class Machine:
                                            latency)
         return result, latency
 
+    def coherence_access(self, core: int, line_addr: int, now: int,
+                         exclusive: bool) -> Tuple[object, int]:
+        """Coherence access plus persistency side-effect hooks.
+
+        The batch engine's slow-op path: exactly the fabric/hook prefix
+        of :meth:`execute` (same stats, same hook order, same
+        assertions) minus the observer narration — the batch engine
+        only runs with no observer attached. Returns the requester's
+        now-valid line and the accumulated latency; the caller applies
+        the operation itself (:meth:`_do_read` & friends or the batch
+        engine's inline equivalents).
+        """
+        stats = self.stats[core]
+        access = self.fabric.access(core, line_addr, exclusive=exclusive,
+                                    now=now)
+        latency = access.latency
+        if access.l1_hit:
+            stats.l1_hits += 1
+        else:
+            stats.l1_misses += 1
+        if access.downgrade is not None:
+            dg = access.downgrade
+            self.stats[dg.owner].downgrades_received += 1
+            if dg.was_modified and not dg.had_pending:
+                self.stats[dg.owner].writebacks_total += 1
+            latency += self.mechanism.on_downgrade(
+                dg.owner, dg.line, dg.to_state, core, now + latency)
+            if dg.line.has_pending:
+                raise AssertionError(
+                    f"{self.mechanism.name}: downgraded line "
+                    f"{dg.line.addr:#x} still holds unpersisted words")
+        if access.eviction is not None:
+            ev = access.eviction
+            stats.evictions += 1
+            if ev.was_modified and not ev.had_pending:
+                stats.writebacks_total += 1
+            latency += self.mechanism.on_evict(core, ev.line, now + latency)
+            if ev.line.has_pending:
+                raise AssertionError(
+                    f"{self.mechanism.name}: evicted line "
+                    f"{ev.line.addr:#x} still holds unpersisted words")
+        stats.invalidations_received += access.invalidated_sharers
+        return access.line, latency
+
+    def make_fast_path(self):
+        """Build the fused miss/upgrade handlers for the batch engine.
+
+        Returns ``(fast_miss, fast_upgrade)`` closures with every piece
+        of fabric state pre-bound (all the referenced containers are
+        identity-stable for the machine's lifetime). Only valid while
+        no observer is attached — the batch engine already refuses to
+        run otherwise.
+
+        ``fast_miss`` is one flat function equivalent to
+        :meth:`CoherenceFabric.access` (miss case) plus the side-effect
+        hook block of :meth:`coherence_access`: same transition order,
+        same latency arithmetic, same hook times — minus the per-layer
+        calls and the AccessResult/Eviction/Downgrade records nobody
+        reads on this path. ``fast_upgrade`` mirrors
+        :meth:`CoherenceFabric._upgrade` (an upgrade never demotes an
+        owner or evicts a victim, so only the invalidation count
+        reaches stats). Both are pinned against the reference path by
+        the fast-vs-reference equivalence tests.
+        """
+        fabric = self.fabric
+        stats_list = self.stats
+        mechanism = self.mechanism
+        lids = fabric._lids
+        lids_index = lids.index
+        owner_arr = fabric._owner      # grown in place: alias stays valid
+        sharers = fabric._sharers
+        blocked = fabric._blocked_until
+        lat = fabric._lat
+        l1s = fabric.l1s
+        invalidate_mask = fabric._invalidate_mask
+        n = fabric._ncores
+        home_shift = fabric._home_shift
+        l1_hit_cycles = fabric._l1_hit
+        llc_hit = fabric._llc_hit
+        new_line = CacheLine.__new__
+        intern_line = fabric._intern
+        # Per-core container tables (identity-stable), so the miss path
+        # pays one list index instead of an attribute chain per access.
+        sets_by_core = [l1._sets for l1 in l1s]
+        lru_by_core = [l1.lru for l1 in l1s]
+        codes_by_core = [l1.state_codes for l1 in l1s]
+        lines_by_core = [l1.lines for l1 in l1s]
+        assoc = l1s[0]._assoc
+
+        def fast_miss(core, line_addr, now, exclusive, set_index):
+            stats = stats_list[core]
+            stats.l1_misses += 1
+            try:
+                lid = lids_index[line_addr]
+            except KeyError:
+                # First touch only: every later miss takes the hit path.
+                lid = lids.intern(line_addr)
+                owner_arr.append(-1)
+                sharers.append(0)
+            home = (line_addr >> home_shift) % n
+            req_home = lat[core * n + home]
+            if blocked:
+                block_wait = (blocked.get(line_addr, 0)
+                              - (now + l1_hit_cycles + req_home))
+                if block_wait < 0:
+                    block_wait = 0
+            else:
+                block_wait = 0
+            latency = l1_hit_cycles + req_home + llc_hit + block_wait
+
+            # Remote owner: demote. Transitions happen now; the
+            # mechanism hooks run after the full coherence latency is
+            # known, exactly as the layered path does.
+            dg_owner = -1
+            owner = owner_arr[lid]
+            if owner >= 0 and owner != core:
+                # Set geometry is config-wide, so the requester's
+                # set_index locates the line in the owner's L1 too.
+                oset = sets_by_core[owner][set_index]
+                oslot = oset.get(line_addr)
+                if oslot is None:
+                    raise AssertionError(
+                        f"directory names core {owner} owner of "
+                        f"{line_addr:#x} but the line is not resident")
+                ocodes = codes_by_core[owner]
+                owner_line = lines_by_core[owner][oslot]
+                dg_had_pending = bool(owner_line.pending_words)
+                dg_was_modified = ocodes[oslot] == MODIFIED_CODE
+                latency += (lat[home * n + owner] + l1_hit_cycles
+                            + lat[owner * n + core])
+                if exclusive:
+                    dg_to_state = INVALID
+                    del oset[line_addr]
+                    owner_line._detach()
+                else:
+                    dg_to_state = SHARED
+                    ocodes[oslot] = SHARED_CODE
+                    sharers[lid] |= 1 << owner
+                owner_arr[lid] = -1
+                dg_owner = owner
+            else:
+                latency += lat[home * n + core]
+
+            invalidated = 0
+            if exclusive:
+                mask = sharers[lid]
+                if mask:
+                    invalidated = invalidate_mask(mask, core, line_addr)
+                    sharers[lid] = 0
+
+            # Victim eviction, fused (victim and fill share the set).
+            cache_set = sets_by_core[core][set_index]
+            lru_list = lru_by_core[core]
+            codes = codes_by_core[core]
+            lines = lines_by_core[core]
+            victim = None
+            if len(cache_set) >= assoc:
+                vslot = min(cache_set.values(), key=lru_list.__getitem__)
+                victim = lines[vslot]
+                vaddr = victim.addr
+                try:
+                    vlid = lids_index[vaddr]
+                except KeyError:
+                    # Unreachable in practice (a resident line was
+                    # interned when it was filled); kept for parity
+                    # with the layered path's unconditional intern.
+                    vlid = intern_line(vaddr)
+                if owner_arr[vlid] == core:
+                    owner_arr[vlid] = -1
+                sharers[vlid] &= ~(1 << core)
+                del cache_set[vaddr]
+                # Inline _detach: capture final table state on the view.
+                victim._state = CODE_TO_STATE[codes[vslot]]
+                victim._lru_tick = lru_list[vslot]
+                codes[vslot] = 0
+                lines[vslot] = None
+                victim._cache = None
+                victim._slot = -1
+
+            if exclusive:
+                new_state = MODIFIED
+                new_code = MODIFIED_CODE
+                owner_arr[lid] = core
+            elif not sharers[lid] and owner_arr[lid] < 0:
+                new_state = EXCLUSIVE
+                new_code = EXCLUSIVE_CODE
+                owner_arr[lid] = core
+            else:
+                new_state = SHARED
+                new_code = SHARED_CODE
+                sharers[lid] |= 1 << core
+
+            # Inline fill: the victim's slot is the free one when we
+            # just evicted; otherwise scan the non-full set.
+            if victim is not None:
+                slot = vslot
+            else:
+                slot = set_index * assoc
+                while codes[slot]:
+                    slot += 1
+            l1 = l1s[core]
+            line = new_line(CacheLine)
+            line.addr = line_addr
+            line.pending_words = {}
+            line.min_epoch = None
+            line.release_bit = False
+            line._state = new_state
+            line._lru_tick = 0
+            line._cache = l1
+            line._slot = slot
+            codes[slot] = new_code
+            lines[slot] = line
+            cache_set[line_addr] = slot
+            tick = l1._tick + 1
+            l1._tick = tick
+            lru_list[slot] = tick
+
+            # Side-effect hooks, in the layered path's order.
+            if dg_owner >= 0:
+                ostats = stats_list[dg_owner]
+                ostats.downgrades_received += 1
+                if dg_was_modified and not dg_had_pending:
+                    ostats.writebacks_total += 1
+                latency += mechanism.on_downgrade(
+                    dg_owner, owner_line, dg_to_state, core, now + latency)
+                if owner_line.pending_words:
+                    raise AssertionError(
+                        f"{mechanism.name}: downgraded line "
+                        f"{owner_line.addr:#x} still holds unpersisted "
+                        f"words")
+            if victim is not None:
+                stats.evictions += 1
+                ev_had_pending = bool(victim.pending_words)
+                if victim._state is MODIFIED and not ev_had_pending:
+                    stats.writebacks_total += 1
+                latency += mechanism.on_evict(core, victim, now + latency)
+                if victim.pending_words:
+                    raise AssertionError(
+                        f"{mechanism.name}: evicted line "
+                        f"{victim.addr:#x} still holds unpersisted words")
+            if invalidated:
+                stats.invalidations_received += invalidated
+            return line, latency
+
+        def fast_upgrade(core, line, now):
+            stats = stats_list[core]
+            stats.l1_misses += 1
+            line_addr = line.addr
+            lid = lids_index.get(line_addr)
+            if lid is None:
+                lid = lids.intern(line_addr)
+                owner_arr.append(-1)
+                sharers.append(0)
+            home = (line_addr >> home_shift) % n
+            req_home = lat[core * n + home]
+            if blocked:
+                block_wait = (blocked.get(line_addr, 0)
+                              - (now + l1_hit_cycles + req_home))
+                if block_wait < 0:
+                    block_wait = 0
+            else:
+                block_wait = 0
+            mask = sharers[lid]
+            invalidated = (invalidate_mask(mask, core, line_addr)
+                           if mask else 0)
+            sharers[lid] = 0
+            owner_arr[lid] = core
+            codes_by_core[core][line._slot] = MODIFIED_CODE
+            latency = (l1_hit_cycles + 2 * req_home + llc_hit
+                       + block_wait)
+            if invalidated:
+                latency += lat[home * n + core]  # inv/ack, overlapped
+                stats.invalidations_received += invalidated
+            return latency
+
+        return fast_miss, fast_upgrade
+
     def _do_read(self, core: int, op: Op, now: int,
                  latency: int) -> Tuple[Word, int]:
         stats = self.stats[core]
         stats.reads += 1
-        event = self.trace.record_read(core, op.addr, op.order)
-        if event.is_acquire:
+        order = op.order
+        event = self.trace.record_read(core, op.addr, order)
+        # A READ is always a read effect: is_acquire reduces to the
+        # ordering annotation.
+        if order is _ACQUIRE or order is _ACQ_REL:
             stats.acquires += 1
             latency += self.mechanism.on_acquire(
                 core, event, now + latency,
@@ -159,8 +453,11 @@ class Machine:
                   latency: int) -> Tuple[None, int]:
         stats = self.stats[core]
         stats.writes += 1
-        event = self.trace.record_write(core, op.addr, op.value, op.order)
-        if event.is_release:
+        order = op.order
+        event = self.trace.record_write(core, op.addr, op.value, order)
+        # A WRITE is always a write effect: is_release reduces to the
+        # ordering annotation.
+        if order is _RELEASE or order is _ACQ_REL:
             stats.releases += 1
             latency += self.mechanism.on_release(core, line, event,
                                                  now + latency)
@@ -181,13 +478,16 @@ class Machine:
             event = self.trace.record_unconditional_rmw(
                 core, op.addr, op.value, op.order)
             result = event.read_value
-        if event.is_acquire:
+        # An RMW is always a read effect; its write effect is gated on
+        # success — so the properties reduce to the annotation checks.
+        order = op.order
+        if order is _ACQUIRE or order is _ACQ_REL:
             stats.acquires += 1
             latency += self.mechanism.on_acquire(
                 core, event, now + latency,
                 sync_source=self._sync_source(event))
         if event.success:
-            if event.is_release:
+            if order is _RELEASE or order is _ACQ_REL:
                 stats.releases += 1
             latency += self.mechanism.on_rmw(core, line, event,
                                              now + latency)
@@ -203,7 +503,7 @@ class Machine:
     # Phase management
     # ------------------------------------------------------------------
 
-    def install_initial_state(self, words) -> None:
+    def install_initial_state(self, words, *, share: bool = False) -> None:
         """Install pre-built durable state (the pre-populated LFD).
 
         Used instead of executing the setup phase op-by-op: the words
@@ -214,8 +514,8 @@ class Machine:
         """
         if len(self.trace):
             raise ValueError("install initial state before executing ops")
-        self.trace.initialize(words)
-        self.nvm.set_baseline_image(words)
+        self.trace.initialize(words, share=share)
+        self.nvm.set_baseline_image(words, share=share)
         self.boundary_event = 0
 
     def checkpoint(self, now: int) -> None:

@@ -15,6 +15,7 @@ import heapq
 from typing import Callable, Dict, Generator, Iterable, List, Mapping, \
     Optional
 
+from repro.core import fastsim
 from repro.core.machine import Machine
 from repro.core.thread import Op, OpKind
 
@@ -97,6 +98,10 @@ class Scheduler:
         """Execute until every thread finishes; returns the makespan."""
         if self._nudges is not None:
             return self._run_nudged()
+        if fastsim.eligible(self):
+            # Bit-identical batched execution (see repro.core.fastsim);
+            # REPRO_FASTSIM=0 forces the reference loop below.
+            return fastsim.run(self)
         compute = self.machine.config.compute_cycles_per_op
         execute = self.machine.execute
         stats = self.machine.stats

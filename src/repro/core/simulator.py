@@ -8,8 +8,11 @@ need (statistics, trace, NVM persist log, the structure itself).
 
 from __future__ import annotations
 
+import copy
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Union
+import gc
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.params import DEFAULT_CONFIG, MachineConfig
 from repro.common.stats import RunStats
@@ -25,6 +28,55 @@ from repro.workloads.harness import (
     expected_final_keys,
     make_structure,
 )
+
+
+# ----------------------------------------------------------------------
+# Setup-phase memoization
+# ----------------------------------------------------------------------
+#
+# Pre-populating a structure (random key draw + node-by-node build of
+# the initial image) costs more than the measured simulation itself at
+# bench scales. The built (structure, memory image) pair depends only
+# on the fields below, so it is memoized: each run gets a deepcopy of
+# the prototype structure (cheap — LFDs hold scalars and allocators,
+# never the word image) and *shares* the frozen memory image
+# (installed with share=True; the trace still takes its own mutable
+# copy of the architectural memory).
+
+_PROTO_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_PROTO_CACHE_MAX = 8
+
+
+def _setup_prototype(spec: WorkloadSpec, config: MachineConfig
+                     ) -> Tuple[LogFreeStructure, Dict[int, Optional[int]]]:
+    key = (spec.structure, spec.initial_size, spec.effective_key_range,
+           spec.seed, config.line_bytes)
+    entry = _PROTO_CACHE.get(key)
+    if entry is None:
+        # The node-by-node build allocates hundreds of thousands of
+        # objects at bench scales; pause the cyclic GC so its
+        # generation sweeps don't tax the allocation loop (the same
+        # trick fastsim.run applies to the measured phase).
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            structure = make_structure(spec, config)
+            memory = build_initial_memory(spec, structure)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        entry = (structure, memory)
+        _PROTO_CACHE[key] = entry
+        if len(_PROTO_CACHE) > _PROTO_CACHE_MAX:
+            _PROTO_CACHE.popitem(last=False)
+    else:
+        _PROTO_CACHE.move_to_end(key)
+    return entry
+
+
+def clear_setup_cache() -> None:
+    """Drop memoized setup prototypes (tests / memory pressure)."""
+    _PROTO_CACHE.clear()
 
 
 @dataclasses.dataclass
@@ -96,8 +148,9 @@ def simulate(spec: WorkloadSpec,
     if spec.num_threads > config.num_cores:
         config = dataclasses.replace(config, num_cores=spec.num_threads)
     machine = Machine(config, mechanism, observer=observer)
-    structure = make_structure(spec, config)
-    machine.install_initial_state(build_initial_memory(spec, structure))
+    proto_structure, proto_memory = _setup_prototype(spec, config)
+    structure = copy.deepcopy(proto_structure)
+    machine.install_initial_state(proto_memory, share=True)
 
     outcomes: List[List[Outcome]] = [[] for _ in range(spec.num_threads)]
     # Op-site tagging feeds only the provenance tracker; skip the

@@ -21,11 +21,9 @@ Example::
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 from typing import Optional
 
-from repro.common.compat import DATACLASS_SLOTS
 from repro.consistency.events import MemOrder
 
 Word = Optional[int]
@@ -39,7 +37,6 @@ class OpKind(enum.Enum):
     WORK = "work"       # pure compute: consumes cycles, touches nothing
 
 
-@dataclasses.dataclass(frozen=True, **DATACLASS_SLOTS)
 class Op:
     """One operation yielded by workload code to the scheduler.
 
@@ -49,47 +46,128 @@ class Op:
     form the stable site id the :mod:`repro.obs.provenance` flamegraphs
     group by. Sites never influence execution — they are metadata read
     only by the (opt-in) provenance tracker.
+
+    A plain __slots__ class, not a dataclass: workloads allocate one
+    Op per memory access (millions per benchmark run), and a frozen
+    dataclass pays ``object.__setattr__`` per field.
     """
 
-    kind: OpKind
-    addr: int = 0
-    value: Word = None
-    expected: Word = None
-    order: MemOrder = MemOrder.PLAIN
-    cycles: int = 0
-    site: Optional[str] = None
+    __slots__ = ("kind", "addr", "value", "expected", "order", "cycles",
+                 "site")
+
+    def __init__(self, kind: OpKind, addr: int = 0, value: Word = None,
+                 expected: Word = None, order: MemOrder = MemOrder.PLAIN,
+                 cycles: int = 0, site: Optional[str] = None) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+        self.expected = expected
+        self.order = order
+        self.cycles = cycles
+        self.site = site
+
+    def _key(self):
+        return (self.kind, self.addr, self.value, self.expected,
+                self.order, self.cycles, self.site)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Op:
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"Op(kind={self.kind!r}, addr={self.addr:#x}, "
+                f"value={self.value!r}, expected={self.expected!r}, "
+                f"order={self.order!r}, cycles={self.cycles}, "
+                f"site={self.site!r})")
 
 
-def load(addr: int, order: MemOrder = MemOrder.PLAIN,
+_READ = OpKind.READ
+_WRITE = OpKind.WRITE
+_CAS = OpKind.CAS
+_XCHG = OpKind.XCHG
+_WORK = OpKind.WORK
+_PLAIN = MemOrder.PLAIN
+_RELEASE = MemOrder.RELEASE
+_ACQ_REL = MemOrder.ACQ_REL
+
+
+# The helpers below build the Op via __new__ + direct slot stores:
+# they are the workload side's per-memory-access allocation, and the
+# extra __init__ frame is measurable at bench scale.
+_new = object.__new__
+
+
+def load(addr: int, order: MemOrder = _PLAIN,
          site: Optional[str] = None) -> Op:
     """A load; the yield returns the value read."""
-    return Op(OpKind.READ, addr=addr, order=order, site=site)
+    op = _new(Op)
+    op.kind = _READ
+    op.addr = addr
+    op.value = None
+    op.expected = None
+    op.order = order
+    op.cycles = 0
+    op.site = site
+    return op
 
 
 def store(addr: int, value: Word,
-          order: MemOrder = MemOrder.PLAIN,
+          order: MemOrder = _PLAIN,
           site: Optional[str] = None) -> Op:
     """A store; the yield returns None."""
-    return Op(OpKind.WRITE, addr=addr, value=value, order=order,
-              site=site)
+    op = _new(Op)
+    op.kind = _WRITE
+    op.addr = addr
+    op.value = value
+    op.expected = None
+    op.order = order
+    op.cycles = 0
+    op.site = site
+    return op
 
 
 def cas(addr: int, expected: Word, value: Word,
-        order: MemOrder = MemOrder.RELEASE,
+        order: MemOrder = _RELEASE,
         site: Optional[str] = None) -> Op:
     """Compare-and-swap; the yield returns ``(success, old_value)``."""
-    return Op(OpKind.CAS, addr=addr, value=value, expected=expected,
-              order=order, site=site)
+    op = _new(Op)
+    op.kind = _CAS
+    op.addr = addr
+    op.value = value
+    op.expected = expected
+    op.order = order
+    op.cycles = 0
+    op.site = site
+    return op
 
 
 def xchg(addr: int, value: Word,
-         order: MemOrder = MemOrder.ACQ_REL,
+         order: MemOrder = _ACQ_REL,
          site: Optional[str] = None) -> Op:
     """Atomic exchange; the yield returns the old value."""
-    return Op(OpKind.XCHG, addr=addr, value=value, order=order,
-              site=site)
+    op = _new(Op)
+    op.kind = _XCHG
+    op.addr = addr
+    op.value = value
+    op.expected = None
+    op.order = order
+    op.cycles = 0
+    op.site = site
+    return op
 
 
 def work(cycles: int, site: Optional[str] = None) -> Op:
     """Pure computation: advances the thread clock only."""
-    return Op(OpKind.WORK, cycles=cycles, site=site)
+    op = _new(Op)
+    op.kind = _WORK
+    op.addr = 0
+    op.value = None
+    op.expected = None
+    op.order = _PLAIN
+    op.cycles = cycles
+    op.site = site
+    return op

@@ -41,6 +41,11 @@ from repro.memory.address import HeapAllocator
 # Node layout: [key, value, next]
 KEY, VALUE, NEXT = 0, 1, 2
 NODE_WORDS = 3
+# Byte offsets (= field(node, X) - node) inlined in the traversal hot
+# loops: search runs once per data-structure operation and its field()
+# calls are measurable at bench scale.
+_KEY_OFF = KEY * 8
+_NEXT_OFF = NEXT * 8
 
 
 class HarrisListOps:
@@ -70,7 +75,7 @@ class HarrisListOps:
             while True:
                 if curr == NULL:
                     return pred_ptr, NULL, None
-                nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE,
+                nxt = yield load(curr + _NEXT_OFF, MemOrder.ACQUIRE,
                                  site="traverse-next")
                 if is_marked(nxt):
                     # curr is logically deleted: help unlink it.
@@ -82,11 +87,11 @@ class HarrisListOps:
                         break
                     curr = unmark(nxt)
                     continue
-                curr_key = yield load(field(curr, KEY),
+                curr_key = yield load(curr + _KEY_OFF,
                                       site="traverse-key")
                 if curr_key >= key:
                     return pred_ptr, curr, curr_key
-                pred_ptr = field(curr, NEXT)
+                pred_ptr = curr + _NEXT_OFF
                 curr = nxt if nxt is not None else NULL
             if restart:
                 continue
@@ -145,9 +150,9 @@ class HarrisListOps:
                          site="traverse-head")
         curr = unmark(raw) if raw is not None else NULL
         while curr != NULL:
-            nxt = yield load(field(curr, NEXT), MemOrder.ACQUIRE,
+            nxt = yield load(curr + _NEXT_OFF, MemOrder.ACQUIRE,
                              site="traverse-next")
-            curr_key = yield load(field(curr, KEY),
+            curr_key = yield load(curr + _KEY_OFF,
                                   site="traverse-key")
             if curr_key == key:
                 return not is_marked(nxt)
@@ -170,17 +175,19 @@ class HarrisListOps:
         structures do not exhibit.
         """
         sorted_keys = sorted(set(keys))
+        alloc = self.allocator.alloc
         node_addrs = [
-            self.allocator.alloc(NODE_WORDS + 1, line_align=True) + 8
+            alloc(NODE_WORDS + 1, line_align=True) + 8
             for _ in sorted_keys
         ]
         memory[head_ptr] = node_addrs[0] if node_addrs else NULL
+        last = len(node_addrs) - 1
+        # field()/header_addr() inlined: [header][key][value][next].
         for i, (key, addr) in enumerate(zip(sorted_keys, node_addrs)):
-            memory[header_addr(addr)] = NODE_WORDS
-            memory[field(addr, KEY)] = key
-            memory[field(addr, VALUE)] = value_of(key)
-            memory[field(addr, NEXT)] = (
-                node_addrs[i + 1] if i + 1 < len(node_addrs) else NULL)
+            memory[addr - 8] = NODE_WORDS
+            memory[addr] = key
+            memory[addr + 8] = value_of(key)
+            memory[addr + 16] = node_addrs[i + 1] if i < last else NULL
 
     def walk(self, image: Dict[int, Word], head_ptr: int,
              max_nodes: int) -> Tuple[List[str], int, Set[int]]:

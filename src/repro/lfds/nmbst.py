@@ -46,6 +46,10 @@ from repro.memory.address import HeapAllocator
 # Node layout: [key, value, left, right]; a leaf has left == right == NULL.
 KEY, VALUE, LEFT, RIGHT = 0, 1, 2, 3
 NODE_WORDS = 4
+# Byte offsets inlined in the seek/build hot paths:
+# field(node, X) == node + 8 * X.
+_KEY_OFF = KEY * 8
+_LEFT_OFF = LEFT * 8
 
 FLAG = 1
 TAG = 2
@@ -112,11 +116,13 @@ class NMTree(LogFreeStructure):
 
     def _static_node(self, key: int, memory: Dict[int, Word]) -> int:
         node = self.allocator.alloc(NODE_WORDS + 1, line_align=True) + 8
-        memory[header_addr(node)] = NODE_WORDS
-        memory[field(node, KEY)] = key
-        memory[field(node, VALUE)] = 0
-        memory[field(node, LEFT)] = NULL
-        memory[field(node, RIGHT)] = NULL
+        # field()/header_addr() inlined: one call per built node, and
+        # the initial build dominates setup at paper scales.
+        memory[node - 8] = NODE_WORDS
+        memory[node] = key
+        memory[node + 8] = 0
+        memory[node + 16] = NULL
+        memory[node + 24] = NULL
         return node
 
     # ------------------------------------------------------------------
@@ -142,10 +148,10 @@ class NMTree(LogFreeStructure):
             steps += 1
             if steps > self._max_nodes:
                 raise RuntimeError("seek exceeded node bound")
-            side = LEFT if key < node_key else RIGHT
-            child_raw = yield load(field(node, side), MemOrder.ACQUIRE)
+            side_off = _LEFT_OFF if key < node_key else _LEFT_OFF + 8
+            child_raw = yield load(node + side_off, MemOrder.ACQUIRE)
             child = addr_of(child_raw)
-            child_left_raw = yield load(field(child, LEFT),
+            child_left_raw = yield load(child + _LEFT_OFF,
                                         MemOrder.ACQUIRE)
             if addr_of(child_left_raw) == NULL:
                 # child is a leaf: node is its parent.
@@ -155,7 +161,7 @@ class NMTree(LogFreeStructure):
                 ancestor = node
                 successor = child
             node = child
-            node_key = yield load(field(node, KEY))
+            node_key = yield load(node + _KEY_OFF)
 
     # ------------------------------------------------------------------
     # Operations (NM Figures 5-7)
@@ -305,14 +311,18 @@ class NMTree(LogFreeStructure):
 
     def _build_balanced(self, keys: Sequence[int],
                         memory: Dict[int, Word]) -> int:
-        if len(keys) == 1:
-            return self._static_node(keys[0], memory)
-        mid = (len(keys) + 1) // 2
+        return self._build_range(keys, 0, len(keys), memory)
+
+    def _build_range(self, keys: Sequence[int], lo: int, hi: int,
+                     memory: Dict[int, Word]) -> int:
+        # Index-based recursion (same node/allocation order as slicing
+        # on keys[lo:hi], without the O(n log n) copying).
+        if hi - lo == 1:
+            return self._static_node(keys[lo], memory)
+        mid = lo + (hi - lo + 1) // 2
         node = self._static_node(keys[mid], memory)
-        memory[field(node, LEFT)] = self._build_balanced(keys[:mid],
-                                                         memory)
-        memory[field(node, RIGHT)] = self._build_balanced(keys[mid:],
-                                                          memory)
+        memory[node + 16] = self._build_range(keys, lo, mid, memory)
+        memory[node + 24] = self._build_range(keys, mid, hi, memory)
         return node
 
     # ------------------------------------------------------------------

@@ -40,6 +40,11 @@ from repro.memory.address import WORD_BYTES, HeapAllocator
 # Node layout: [key, value, level, next_0 .. next_{level-1}]
 KEY, VALUE, LEVEL = 0, 1, 2
 HEADER_WORDS = 3
+# Byte offsets inlined in the traversal/build hot paths:
+# field(node, KEY) == node, next-pointer for ``level`` is
+# node + _NEXT_BASE + 8 * level.
+_KEY_OFF = KEY * 8
+_NEXT_BASE = HEADER_WORDS * 8
 
 
 def _mix(key: int) -> int:
@@ -106,16 +111,16 @@ class SkipList(LogFreeStructure):
             succs: List[int] = [NULL] * self.max_level
             pred = self.head
             for level in range(self.max_level - 1, -1, -1):
-                raw = yield load(self._next_addr(pred, level),
-                                 MemOrder.ACQUIRE)
+                next_off = _NEXT_BASE + (level << 3)
+                raw = yield load(pred + next_off, MemOrder.ACQUIRE)
                 curr = unmark(raw) if raw is not None else NULL
                 while True:
                     if curr == NULL:
                         break
-                    raw_next = yield load(self._next_addr(curr, level),
+                    raw_next = yield load(curr + next_off,
                                           MemOrder.ACQUIRE)
                     if is_marked(raw_next):
-                        ok, _ = yield cas(self._next_addr(pred, level),
+                        ok, _ = yield cas(pred + next_off,
                                           curr, unmark(raw_next),
                                           MemOrder.RELEASE)
                         if not ok:
@@ -123,7 +128,7 @@ class SkipList(LogFreeStructure):
                             break
                         curr = unmark(raw_next)
                         continue
-                    curr_key = yield load(field(curr, KEY))
+                    curr_key = yield load(curr + _KEY_OFF)
                     if curr_key < key:
                         pred = curr
                         curr = (unmark(raw_next)
@@ -232,13 +237,13 @@ class SkipList(LogFreeStructure):
         """Traverse the index without helping (read-only)."""
         pred = self.head
         for level in range(self.max_level - 1, -1, -1):
-            raw = yield load(self._next_addr(pred, level),
-                             MemOrder.ACQUIRE)
+            next_off = _NEXT_BASE + (level << 3)
+            raw = yield load(pred + next_off, MemOrder.ACQUIRE)
             curr = unmark(raw) if raw is not None else NULL
             while curr != NULL:
-                raw_next = yield load(self._next_addr(curr, level),
+                raw_next = yield load(curr + next_off,
                                       MemOrder.ACQUIRE)
-                curr_key = yield load(field(curr, KEY))
+                curr_key = yield load(curr + _KEY_OFF)
                 if curr_key < key:
                     pred = curr
                     curr = unmark(raw_next) if raw_next is not None else NULL
@@ -257,23 +262,28 @@ class SkipList(LogFreeStructure):
         memory.update(self.head_initial_memory())
         sorted_keys = sorted(set(keys))
         nodes = []
+        alloc = self.allocator.alloc
+        level_for = self.level_for
+        # field()/header_addr()/_next_addr() inlined: the build runs
+        # once per node and dominates setup at paper scales.
         for key in sorted_keys:
-            height = self.level_for(key)
-            node = self.allocator.alloc(HEADER_WORDS + height + 1,
-                                        line_align=True) + 8
-            memory[header_addr(node)] = HEADER_WORDS + height
-            memory[field(node, KEY)] = key
-            memory[field(node, VALUE)] = key + 1
-            memory[field(node, LEVEL)] = height
+            height = level_for(key)
+            node = alloc(HEADER_WORDS + height + 1, line_align=True) + 8
+            memory[node - 8] = HEADER_WORDS + height
+            memory[node] = key
+            memory[node + 8] = key + 1
+            memory[node + 16] = height
             nodes.append((node, height))
         last_at_level = [self.head] * self.max_level
         for node, height in nodes:
             for level in range(height):
-                memory[self._next_addr(last_at_level[level], level)] = node
+                off = _NEXT_BASE + (level << 3)
+                memory[last_at_level[level] + off] = node
                 last_at_level[level] = node
+        setdefault = memory.setdefault
         for node, height in nodes:
             for level in range(height):
-                memory.setdefault(self._next_addr(node, level), NULL)
+                setdefault(node + _NEXT_BASE + (level << 3), NULL)
 
     # ------------------------------------------------------------------
     # Recovery validation

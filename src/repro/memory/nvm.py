@@ -21,9 +21,10 @@ DESIGN.md).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.params import MachineConfig
+from repro.common.tables import numpy_or_none
 
 Word = Optional[int]
 
@@ -121,6 +122,90 @@ class NVMController:
         self._records.append(record)
         return record
 
+    def issue_persist_batch(
+            self, items: Iterable[Tuple[int, Dict[int, Tuple[Word, int]]]],
+            now: int, *, after: int = 0,
+            ordered_after: Optional["PersistRecord"] = None
+            ) -> List[PersistRecord]:
+        """Issue a batch of line persists sharing one set of constraints.
+
+        Bit-identical, by construction, to calling :meth:`issue_persist`
+        once per ``(line_addr, words)`` item in order with the same
+        ``now``/``after``/``ordered_after`` — the serialization of
+        same-channel persists has a closed form (the *k*-th persist a
+        batch sends to a channel starts one occupancy slot after the
+        previous one), which lets the channel/bandwidth accounting be
+        computed for the whole batch at once, vectorized with numpy
+        when available. Callers whose ordering constraint *changes per
+        record* (e.g. LRP's release chains) cannot batch and keep the
+        per-record path.
+        """
+        items = list(items)
+        issue_time = max(now, after)
+        busy = self._busy_until
+        num_channels = len(busy)
+        line_bytes = self._config.line_bytes
+        occupancy = self._config.nvm_occupancy_cycles
+        persist_cycles = self._config.nvm_persist_cycles
+        floor = (ordered_after.complete_time + occupancy
+                 if ordered_after is not None else None)
+
+        np = numpy_or_none()
+        if np is not None and len(items) >= 16:
+            addrs = np.fromiter((addr for addr, _ in items),
+                                dtype=np.int64, count=len(items))
+            channels = (addrs // line_bytes) % num_channels
+            base = np.maximum(issue_time,
+                              np.asarray(busy, dtype=np.int64))
+            order = np.argsort(channels, kind="stable")
+            sorted_ch = channels[order]
+            boundary = np.empty(len(items), dtype=bool)
+            boundary[0] = True
+            boundary[1:] = sorted_ch[1:] != sorted_ch[:-1]
+            group_starts = np.flatnonzero(boundary)
+            group_sizes = np.diff(np.append(group_starts, len(items)))
+            ranks = (np.arange(len(items))
+                     - np.repeat(group_starts, group_sizes))
+            starts_sorted = base[sorted_ch] + ranks * occupancy
+            starts = np.empty_like(starts_sorted)
+            starts[order] = starts_sorted
+            completes = starts + persist_cycles
+            if floor is not None:
+                np.maximum(completes, floor, out=completes)
+            counts = np.bincount(channels, minlength=num_channels)
+            new_busy = base + counts * occupancy
+            for channel in np.flatnonzero(counts):
+                busy[channel] = int(new_busy[channel])
+            complete_times = completes.tolist()
+        else:
+            complete_times = []
+            for line_addr, _words in items:
+                channel = (line_addr // line_bytes) % num_channels
+                start = busy[channel]
+                if issue_time > start:
+                    start = issue_time
+                busy[channel] = start + occupancy
+                complete = start + persist_cycles
+                if floor is not None and complete < floor:
+                    complete = floor
+                complete_times.append(complete)
+
+        records = []
+        seq = self._issue_seq
+        for (line_addr, words), complete in zip(items, complete_times):
+            record = PersistRecord(
+                issue_seq=seq,
+                line_addr=line_addr,
+                words=tuple(sorted(words.items())),
+                issue_time=issue_time,
+                complete_time=complete,
+            )
+            seq += 1
+            records.append(record)
+        self._issue_seq = seq
+        self._records.extend(records)
+        return records
+
     # ------------------------------------------------------------------
     # Durable state reconstruction (crash experiments)
     # ------------------------------------------------------------------
@@ -135,10 +220,20 @@ class NVMController:
         self._records.clear()
 
     def set_baseline_image(self, words: Dict[int, Word],
-                           events: Optional[Dict[int, int]] = None) -> None:
-        """Install pre-populated durable state (setup-phase checkpoint)."""
-        self._baseline_image = dict(words)
-        self._baseline_events = dict(events or {})
+                           events: Optional[Dict[int, int]] = None, *,
+                           share: bool = False) -> None:
+        """Install pre-populated durable state (setup-phase checkpoint).
+
+        With ``share`` the dicts are adopted without copying; the
+        caller must never mutate them afterwards (the controller itself
+        only ever reads the baseline).
+        """
+        if share:
+            self._baseline_image = words
+            self._baseline_events = events or {}
+        else:
+            self._baseline_image = dict(words)
+            self._baseline_events = dict(events or {})
 
     def baseline_image(self) -> Dict[int, Word]:
         return dict(self._baseline_image)

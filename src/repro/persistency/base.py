@@ -85,6 +85,16 @@ class PersistencyMechanism:
             return self.on_release(core, line, event, now)
         return self.on_write(core, line, event, now)
 
+    #: Contract flag for the batch engine: on_acquire implementations
+    #: must not dereference their ``event`` argument (they may only use
+    #: ``core``, ``now`` and ``sync_source``). Every mechanism in the
+    #: tree satisfies this, which lets the batch engine skip building
+    #: the MemoryEvent for acquire loads when trace recording is off
+    #: (it passes ``event=None``). An override that needs event fields
+    #: must set this False on its class; the fast-vs-reference
+    #: equivalence tests will catch a stale flag.
+    acquire_ignores_event = True
+
     def on_acquire(self, core: int, event: MemoryEvent, now: int,
                    sync_source: Optional[int] = None) -> int:
         """An acquire load (or the read half of an acquire-RMW) performs.
@@ -127,7 +137,7 @@ class PersistencyMechanism:
                     edge: Optional[Tuple[int, int]] = None
                     ) -> Optional[PersistRecord]:
         """Persist a line's pending words; clears them. None if clean."""
-        if not line.has_pending:
+        if not line.pending_words:
             return None
         epoch = line.min_epoch or 0
         payload = line.take_persist_payload()
@@ -154,6 +164,51 @@ class PersistencyMechanism:
             if obs.provenance is not None:
                 obs.provenance.note_persist(core, record, trigger, edge)
         return record
+
+    def _issue_lines(self, core: int, lines: Iterable[CacheLine],
+                     now: int, *, after: int = 0,
+                     ordered_after: Optional[PersistRecord] = None,
+                     trigger: str = "drain",
+                     edge: Optional[Tuple[int, int]] = None
+                     ) -> List[PersistRecord]:
+        """Persist many lines' pending words as one NVM batch.
+
+        Bit-identical to calling :meth:`_issue_line` per line in order
+        (the batch shares the ``after``/``ordered_after`` constraints,
+        so the channel accounting has a closed form). With an observer
+        attached the per-line path is kept, so every obs/provenance
+        callback fires in exactly the order it always did.
+        """
+        dirty = [line for line in lines if line.pending_words]
+        if not dirty:
+            return []
+        if self.obs is not None or len(dirty) < 2:
+            records = []
+            for line in dirty:
+                record = self._issue_line(core, line, now, after=after,
+                                          ordered_after=ordered_after,
+                                          trigger=trigger, edge=edge)
+                if record is not None:
+                    records.append(record)
+            return records
+        epochs = []
+        items = []
+        for line in dirty:
+            epochs.append(line.min_epoch or 0)
+            items.append((line.addr, line.take_persist_payload()))
+        records = self.nvm.issue_persist_batch(
+            items, now, after=after, ordered_after=ordered_after)
+        record_core = self._record_core
+        inflight = self._inflight[core]
+        issued = self._issued[core]
+        for epoch, record in zip(epochs, records):
+            record_core[record.issue_seq] = core
+            inflight[record.line_addr] = record
+            issued.append((epoch, record))
+        stats = self.stats[core]
+        stats.persists_issued += len(records)
+        stats.writebacks_total += len(records)
+        return records
 
     def _wait_for(self, waiter: int, now: int,
                   records: Iterable[Optional[PersistRecord]],

@@ -83,7 +83,7 @@ class BBMechanism(PersistencyMechanism):
 
     def on_evict(self, core: int, line: CacheLine, now: int) -> int:
         """Evicting an open-epoch dirty line persists it on the miss path."""
-        if not line.has_pending:
+        if not line.pending_words:
             self._block_if_inflight(core, line.addr, now)
             return 0
         self._open[core].pop(line.addr, None)
@@ -101,7 +101,7 @@ class BBMechanism(PersistencyMechanism):
     def on_downgrade(self, owner: int, line: CacheLine,
                      to_state: MESIState, requester: int, now: int) -> int:
         """Inter-thread dependency: requester waits for the source epoch."""
-        if line.has_pending:
+        if line.pending_words:
             ready = self._flush_open(owner, now, trigger="downgrade",
                                      edge=(owner, requester))
             if ready > now:
@@ -156,19 +156,17 @@ class BBMechanism(PersistencyMechanism):
         Returns the time at which everything flushed so far is durable.
         """
         flushed = len(self._open[core])
+        open_lines = list(self._open[core].values())
         if self.config.bb_pipelined_epochs:
-            previous_tail = self._chain_tail[core]
-            for line in list(self._open[core].values()):
-                record = self._issue_line(core, line, now,
-                                          ordered_after=previous_tail,
-                                          trigger=trigger, edge=edge)
-                self._advance_tail(core, record)
+            records = self._issue_lines(core, open_lines, now,
+                                        ordered_after=self._chain_tail[core],
+                                        trigger=trigger, edge=edge)
         else:
-            gate = self._chain_ack(core)
-            for line in list(self._open[core].values()):
-                record = self._issue_line(core, line, now, after=gate,
-                                          trigger=trigger, edge=edge)
-                self._advance_tail(core, record)
+            records = self._issue_lines(core, open_lines, now,
+                                        after=self._chain_ack(core),
+                                        trigger=trigger, edge=edge)
+        for record in records:
+            self._advance_tail(core, record)
         self._open[core].clear()
         ack = self._chain_ack(core)
         if self.obs is not None and flushed:

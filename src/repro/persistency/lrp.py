@@ -89,8 +89,8 @@ class LRPMechanism(PersistencyMechanism):
         self._bump_epoch(core, now)
         # A release cannot coalesce with previous writes in the same
         # dirty line: the line is first persisted, then treated clean.
-        if line.has_pending:
-            if line.is_released:
+        if line.pending_words:
+            if line.release_bit:  # is_released, pending known truthy
                 # The line holds an older release: persist via the
                 # engine so its preceding writes persist first.
                 self._persist_engine(core, line, now, cause="release")
@@ -136,13 +136,13 @@ class LRPMechanism(PersistencyMechanism):
     # ------------------------------------------------------------------
 
     def on_evict(self, core: int, line: CacheLine, now: int) -> int:
-        if not line.has_pending:
+        if not line.pending_words:
             self._block_if_inflight(core, line.addr, now)
             return 0
         if self.obs is not None and line.min_epoch is not None:
             self.obs.observe("lrp.epoch_age_at_evict",
                              self._epoch[core] - line.min_epoch)
-        if line.is_released:
+        if line.release_bit:  # is_released, pending known truthy
             # I1: run the persist engine, off the critical path; the
             # directory blocks the line until its persist acks (the
             # PutM transient state of Section 5.2.3).
@@ -159,8 +159,8 @@ class LRPMechanism(PersistencyMechanism):
 
     def on_downgrade(self, owner: int, line: CacheLine,
                      to_state: MESIState, requester: int, now: int) -> int:
-        if line.has_pending:
-            if line.is_released:
+        if line.pending_words:
+            if line.release_bit:  # is_released, pending known truthy
                 # I2: the requester blocks until the release and all of
                 # its preceding writes have persisted. The directory
                 # holds the line until then, so no other thread can
@@ -221,6 +221,7 @@ class LRPMechanism(PersistencyMechanism):
         writes_tail: Optional[PersistRecord] = None
         records: List[PersistRecord] = []
         older_releases: List[CacheLine] = []
+        older_writes: List[CacheLine] = []
         for line in list(pending.values()):
             if line.min_epoch is None or line.min_epoch >= release_epoch:
                 continue
@@ -228,10 +229,9 @@ class LRPMechanism(PersistencyMechanism):
                 older_releases.append(line)
                 continue
             pending.pop(line.addr, None)
-            record = self._issue_line(core, line, now, trigger=cause,
-                                      edge=edge)
-            if record is None:
-                continue
+            older_writes.append(line)
+        for record in self._issue_lines(core, older_writes, now,
+                                        trigger=cause, edge=edge):
             records.append(record)
             writes_tail = _later(writes_tail, record)
 
@@ -309,14 +309,15 @@ class LRPMechanism(PersistencyMechanism):
         pending = self._pending[core]
         writes_ack = now
         releases: List[CacheLine] = []
+        writes: List[CacheLine] = []
         for line in list(pending.values()):
             if line.is_released:
                 releases.append(line)
                 continue
             pending.pop(line.addr, None)
-            record = self._issue_line(core, line, now, trigger=trigger)
-            if record is not None:
-                writes_ack = max(writes_ack, record.complete_time)
+            writes.append(line)
+        for record in self._issue_lines(core, writes, now, trigger=trigger):
+            writes_ack = max(writes_ack, record.complete_time)
         writes_tail: Optional[PersistRecord] = None
         for record in self._outstanding(core, now):
             writes_tail = _later(writes_tail, record)

@@ -34,6 +34,6 @@ class NOPMechanism(PersistencyMechanism):
 
     def drain(self, now: int) -> int:
         for l1 in self.fabric.l1s:
-            for line in l1.pending_lines():
-                self._issue_line(l1.core_id, line, now, trigger="drain")
+            self._issue_lines(l1.core_id, l1.pending_lines(), now,
+                              trigger="drain")
         return 0

@@ -67,7 +67,7 @@ class SBMechanism(PersistencyMechanism):
 
     def on_evict(self, core: int, line: CacheLine, now: int) -> int:
         """A demand miss displaced a dirty line: persist it, blocking."""
-        if not line.has_pending:
+        if not line.pending_words:
             self._block_if_inflight(core, line.addr, now)
             return 0
         self._pending[core].pop(line.addr, None)
@@ -77,20 +77,19 @@ class SBMechanism(PersistencyMechanism):
     def on_downgrade(self, owner: int, line: CacheLine,
                      to_state: MESIState, requester: int, now: int) -> int:
         """Inter-thread dependency: requester waits for the source epoch."""
-        if not line.has_pending:
+        if not line.pending_words:
             inflight = self._inflight_record(owner, line.addr, now)
             if inflight is not None:
                 return self._wait_for(requester, now, [inflight],
                                       block_line=line.addr,
                                       reason="inter-thread")
             return 0
-        records = []
         edge = (owner, requester)
-        for pending in list(self._pending[owner].values()):
-            records.append(self._issue_line(owner, pending, now,
-                                            trigger="downgrade", edge=edge))
+        records = list(self._issue_lines(
+            owner, list(self._pending[owner].values()), now,
+            trigger="downgrade", edge=edge))
         self._pending[owner].clear()
-        if line.has_pending:  # line outside the pending map (defensive)
+        if line.pending_words:  # line outside the pending map (defensive)
             records.append(self._issue_line(owner, line, now,
                                             trigger="downgrade", edge=edge))
         records.extend(self._outstanding(owner, now))
@@ -115,10 +114,8 @@ class SBMechanism(PersistencyMechanism):
         if self.obs is not None:
             self.obs.count("sb.barriers")
             self.obs.observe("sb.barrier_lines", len(self._pending[core]))
-        records = []
-        for line in list(self._pending[core].values()):
-            records.append(self._issue_line(core, line, now,
-                                            trigger=trigger))
+        records = list(self._issue_lines(
+            core, list(self._pending[core].values()), now, trigger=trigger))
         self._pending[core].clear()
         records.extend(self._outstanding(core, now))
         return self._wait_for(core, now, records, reason="barrier")

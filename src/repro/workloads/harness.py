@@ -133,7 +133,8 @@ def _tagged(gen, prefix: str):
         op = next(gen)
         while True:
             step = op.site if op.site is not None else step_label(op)
-            sent = yield dataclasses.replace(op, site=f"{prefix}.{step}")
+            sent = yield Op(op.kind, op.addr, op.value, op.expected,
+                            op.order, op.cycles, f"{prefix}.{step}")
             op = gen.send(sent)
     except StopIteration as stop:
         return stop.value
