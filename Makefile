@@ -5,8 +5,8 @@
 PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
-.PHONY: help test smoke selftest fuzz-smoke provenance figures trace \
-        bench-report profile perf-smoke clean
+.PHONY: help test smoke selftest fuzz-smoke mc-smoke provenance \
+        figures trace bench-report profile perf-smoke clean
 
 help:
 	@echo "make test          - full tier-1 suite"
@@ -15,6 +15,10 @@ help:
 	@echo "make fuzz-smoke    - seeded fuzzing contract campaign (<60s):"
 	@echo "                     ARP/NOP must yield shrunk counterexamples,"
 	@echo "                     SB/BB/LRP must come back clean"
+	@echo "make mc-smoke      - exhaustive DPOR model-checker selftest:"
+	@echo "                     trace classes + verdicts pinned against"
+	@echo "                     brute force and the Px86 axioms, witness"
+	@echo "                     replay, reduction ratio -> BENCH_mc.json"
 	@echo "make provenance    - persist-provenance flame + diff demo"
 	@echo "                     (capture/fold/diff into provenance-out/)"
 	@echo "make figures       - regenerate the paper figures (quick scale)"
@@ -55,6 +59,15 @@ selftest:
 # (execs/sec, coverage features) to BENCH_fuzz.json.
 fuzz-smoke:
 	$(PY) -m repro.fuzz --selftest --quiet --bench-out BENCH_fuzz.json
+
+# Exhaustive small-scope model checking: DPOR with sleep sets over
+# the litmus suite, pinned against brute-force enumeration (identical
+# trace-class sets and bit-identical per-mechanism verdicts) and the
+# independent Px86-derived persist-order axioms; ARP/NOP witnesses
+# must replay through the fuzzer's repro machinery. Writes the
+# schedule-reduction snapshot to BENCH_mc.json.
+mc-smoke:
+	$(PY) -m repro.mc --selftest --quiet --bench-out BENCH_mc.json
 
 # Persist-provenance demo: capture BB and LRP runs of the hashmap,
 # fold the LRP stalls into a flamegraph, and diff the two captures

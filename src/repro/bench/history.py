@@ -55,9 +55,17 @@ NOISE_THRESHOLD = 0.5
 #: vs ``warm_seconds`` — the name split is what keeps the gate
 #: comparing like against like (a cold baseline metric simply goes
 #: "removed", never gated against a warm current, and vice versa).
+#: The model-checker snapshot (BENCH_mc.json) rides along the same
+#: dashboard: its exploration counters (interleavings, schedules
+#: explored, sleep-set prunes, backtrack points, reduction ratio) are
+#: structural state-space sizes, not performance — informational, and
+#: never cross-gated against timing metrics.
 INFO_MARKERS = ("suite.", "spec.", "cpu_count", "workers", "jobs",
                 "mechanisms", "workloads", "scale", "cached",
-                "cache_hits", "cache_misses", "derived_from")
+                "cache_hits", "cache_misses", "derived_from",
+                "interleavings", "schedules_explored", "states_visited",
+                "sleep_blocked", "backtrack_points", "reduction",
+                "num_ops", "num_threads")
 
 
 def flatten(data: object, prefix: str = "") -> Dict[str, Scalar]:

@@ -53,14 +53,23 @@ def run_interleaving(program: Program, schedule: Sequence[int],
     """Execute ``program`` under a specific thread interleaving.
 
     ``schedule`` lists thread ids; each entry executes that thread's
-    next operation. The schedule must consume every operation exactly
-    once. ``init`` supplies initial memory values.
+    next operation. Thread ids must be in ``[0, len(program))`` — in
+    particular a *negative* id raises rather than silently aliasing a
+    thread via Python's negative indexing (schedules arrive from repro
+    files and explorers; a malformed one must fail loudly, not execute
+    the wrong thread). The schedule must consume every operation
+    exactly once. ``init`` supplies initial memory values.
     """
-    cursors = [0] * len(program)
+    num_threads = len(program)
+    cursors = [0] * num_threads
     trace = Trace()
     if init:
         trace.initialize(init)
     for thread_id in schedule:
+        if not 0 <= thread_id < num_threads:
+            raise ValueError(
+                f"schedule contains invalid thread id {thread_id} "
+                f"(program has {num_threads} threads)")
         ops = program[thread_id]
         index = cursors[thread_id]
         if index >= len(ops):

@@ -67,11 +67,19 @@ def crash_points(log_length: int, num_points: int,
     """Choose crash prefixes: always 0 and the full log, plus a
     deterministic random sample in between.
 
-    The result is deduplicated and sorted, and each prefix appears at
-    most once: a short log (``num_points > log_length``) degrades to
+    Contract: ``num_points`` must be at least 2 (the endpoint prefixes
+    0 and ``log_length`` are always part of the sample — asking for
+    fewer points than the mandatory endpoints is a caller bug and
+    raises ``ValueError``). The result is sorted, each prefix appears
+    exactly once, and its length is exactly
+    ``min(num_points, log_length + 1)``: a short log degrades to
     testing every prefix exactly once instead of re-rolling — and
     re-testing — already-sampled ones.
     """
+    if num_points < 2:
+        raise ValueError(
+            f"num_points must be >= 2 (prefixes 0 and log_length are "
+            f"always sampled), got {num_points}")
     if num_points >= log_length + 1:
         return list(range(log_length + 1))
     points = {0, log_length}

@@ -9,6 +9,16 @@ verdict reproduces bit-for-bit (kind and first problem line).
 
 The file is the hand-off artifact: a failing CI fuzz campaign drops
 repro files, and anyone can replay them locally without the campaign.
+
+Two formats share the replay entry point:
+
+* :data:`FORMAT` (:class:`ReproFile`) — a fuzzer counterexample,
+  replayed by re-simulating the full machine;
+* :data:`LITMUS_FORMAT` (:class:`LitmusReproFile`) — a model-checker
+  witness from :mod:`repro.mc`: a litmus schedule plus the violating
+  crash state, replayed by re-running the interleaving and re-judging
+  the materialized persist log with the stock
+  :class:`~repro.persistency.checker.RPChecker`.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from repro.fuzz.mutation import ScheduleMutation
 from repro.workloads.harness import WorkloadSpec
 
 FORMAT = "repro-fuzz-repro-v1"
+LITMUS_FORMAT = "repro-mc-litmus-v1"
 
 
 def config_to_dict(config: MachineConfig) -> Dict[str, object]:
@@ -154,11 +165,114 @@ class ReproFile:
         return (mine[:1] == theirs[:1])
 
 
+@dataclasses.dataclass
+class LitmusReproFile:
+    """A model-checker witness: schedule + violating crash state."""
+
+    program: str                  # canned program name (repro.mc)
+    mechanism: str
+    schedule: List[int]
+    persist_sequence: List[int]   # write event ids, durability order
+    verdict: Dict[str, object]
+    hb_mode: str = "rp"
+    source: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": LITMUS_FORMAT,
+            "program": self.program,
+            "mechanism": self.mechanism,
+            "schedule": self.schedule,
+            "persist_sequence": self.persist_sequence,
+            "verdict": self.verdict,
+            "hb_mode": self.hb_mode,
+            "source": self.source,
+        }
+
+    def save(self, path: str) -> None:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "LitmusReproFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("format") != LITMUS_FORMAT:
+            raise ValueError(
+                f"{path}: not a litmus repro file "
+                f"(format={data.get('format')!r})")
+        return cls(program=data["program"],
+                   mechanism=data["mechanism"],
+                   schedule=[int(t) for t in data["schedule"]],
+                   persist_sequence=[int(e) for e in
+                                     data["persist_sequence"]],
+                   verdict=data["verdict"],
+                   hb_mode=data.get("hb_mode", "rp"),
+                   source=data.get("source", {}))
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> Dict[str, object]:
+        """Re-run the schedule and re-judge the crash state.
+
+        The interleaving runner validates the schedule (bad thread ids
+        raise) and the recorded persist sequence is re-checked with
+        RPChecker on a freshly materialized persist log — nothing from
+        the recorded verdict is trusted.
+        """
+        from repro.consistency.litmus import run_interleaving
+        from repro.mc.judge import cut_violations
+        from repro.mc.programs import get_program
+
+        program = get_program(self.program)
+        trace = run_interleaving(program.program(), self.schedule,
+                                 init=program.initial_memory())
+        write_ids = {e.event_id for e in trace.writes()}
+        bad = [e for e in self.persist_sequence if e not in write_ids]
+        if bad:
+            return {"kind": "mismatch",
+                    "problems": [f"persist sequence references "
+                                 f"non-write events {bad}"]}
+        count, problems = cut_violations(trace, self.persist_sequence,
+                                         hb_mode=self.hb_mode)
+        if not count:
+            return {"kind": "recovered", "problems": []}
+        return {"kind": "litmus-cut", "problems": problems,
+                "cut_violations": count}
+
+    def verdict_matches(self, replayed: Dict[str, object]) -> bool:
+        """Same violation: kind and first problem line identical."""
+        if replayed.get("kind") != self.verdict.get("kind"):
+            return False
+        mine = list(self.verdict.get("problems", []))
+        theirs = list(replayed.get("problems", []))
+        return mine[:1] == theirs[:1]
+
+
 def replay_repro(path: str) -> Dict[str, object]:
-    """Load, replay and judge a repro file.
+    """Load, replay and judge a repro file (either format).
 
     Returns ``{"ok": bool, "recorded": ..., "replayed": ...}``.
     """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("format") == LITMUS_FORMAT:
+        litmus = LitmusReproFile.load(path)
+        replayed = litmus.replay()
+        return {
+            "ok": litmus.verdict_matches(replayed),
+            "recorded": litmus.verdict,
+            "replayed": replayed,
+            "mechanism": litmus.mechanism,
+            "program": litmus.program,
+            "prefix": len(litmus.persist_sequence),
+            "nudges": 0,
+        }
     repro = ReproFile.load(path)
     replayed = repro.replay()
     return {

@@ -1,0 +1,243 @@
+"""Whole-program model checking: explore, judge, confirm, report.
+
+:func:`check_program` runs one litmus program through the DPOR
+explorer (or brute-force enumeration, for the equivalence pins) and
+folds the per-trace judgements of :mod:`repro.mc.judge` into one
+:class:`MechanismVerdict` per mechanism:
+
+* RP-enforcing mechanisms (SB/BB/LRP) are **proven clean** — no crash
+  state of any Mazurkiewicz trace breaks consistency;
+* weak mechanisms (ARP/NOP) must instead produce a concrete witness:
+  a schedule plus persist sequence whose inconsistency the stock
+  :class:`~repro.persistency.checker.RPChecker` confirms on a
+  materialized persist log, written as a fuzzer-compatible repro file
+  (``python -m repro.fuzz --replay`` replays it).
+
+Every explored trace is additionally cross-checked against the
+independent Px86-derived axioms (:mod:`repro.mc.px86`) and against
+RPChecker's consistent-cut verdict on every execution-order crash
+prefix — two machinery-level oracles that must never disagree with
+the model predicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.consistency.happens_before import HappensBefore
+from repro.consistency.litmus import all_interleavings, run_interleaving
+from repro.persistency import mechanism_by_name
+from repro.persistency.rp_model import arp_allows
+from repro.mc.dpor import DPORStats, explore_program
+from repro.mc.judge import CrashWitness, cut_violations, judge_trace
+from repro.mc.programs import LitmusProgram, get_program
+from repro.mc.px86 import px86_write_pairs
+
+#: The paper's comparison set, in presentation order.
+DEFAULT_MECHANISMS: Tuple[str, ...] = ("sb", "bb", "lrp", "arp", "nop")
+
+
+@dataclasses.dataclass
+class MechanismVerdict:
+    """One mechanism's verdict over every explored trace."""
+
+    mechanism: str
+    expected_clean: bool        # enforces_rp => must be clean
+    clean: bool
+    traces_checked: int
+    #: For a violated mechanism: the first witness found, confirmed by
+    #: RPChecker on a materialized log.
+    schedule: Optional[List[int]] = None
+    witness: Optional[CrashWitness] = None
+    confirmed_cut_violations: int = 0
+    problems: List[str] = dataclasses.field(default_factory=list)
+    mechanism_allows: Optional[bool] = None
+    repro_path: Optional[str] = None
+
+    @property
+    def contract_ok(self) -> bool:
+        """Figure-1 contract: enforcing => clean, weak => confirmed
+        witness."""
+        if self.expected_clean:
+            return self.clean
+        return (not self.clean and self.witness is not None
+                and self.confirmed_cut_violations > 0)
+
+    def summary(self) -> str:
+        if self.clean:
+            status = f"clean over {self.traces_checked} traces"
+        else:
+            status = (f"VIOLATED (schedule {self.schedule}, "
+                      f"{self.confirmed_cut_violations} cut violations)")
+        expect = "must hold" if self.expected_clean else "expected weak"
+        return f"{self.mechanism:<4} [{expect}] {status}"
+
+
+@dataclasses.dataclass
+class ProgramCheck:
+    """Everything :func:`check_program` learned about one program."""
+
+    program: str
+    method: str                 # "dpor" | "brute"
+    hb_mode: str
+    stats: DPORStats
+    verdicts: Dict[str, MechanismVerdict]
+    px86_agreements: int
+    px86_traces: int
+    prefix_cuts_clean: int      # traces whose every exec-order prefix
+    prefix_traces: int          # ... passes the RPChecker cut check
+    seconds: float
+
+    @property
+    def contract_ok(self) -> bool:
+        return (all(v.contract_ok for v in self.verdicts.values())
+                and self.px86_agreements == self.px86_traces
+                and self.prefix_cuts_clean == self.prefix_traces)
+
+    def clean_map(self) -> Dict[str, bool]:
+        """The mechanism -> clean verdict bits (method-invariant)."""
+        return {name: verdict.clean
+                for name, verdict in self.verdicts.items()}
+
+
+def _witness_repro_path(out_dir: str, program: str, mechanism: str) -> str:
+    return os.path.join(out_dir, f"ce-mc-{program}-{mechanism}.json")
+
+
+def check_program(program: Union[str, LitmusProgram],
+                  mechanisms: Sequence[str] = DEFAULT_MECHANISMS,
+                  method: str = "dpor",
+                  hb_mode: str = "rp",
+                  out_dir: Optional[str] = None,
+                  cross_check: bool = True) -> ProgramCheck:
+    """Model-check one litmus program under the given mechanisms."""
+    if isinstance(program, str):
+        program = get_program(program)
+    if method not in ("dpor", "brute"):
+        raise ValueError(f"unknown exploration method {method!r}")
+    started = time.perf_counter()
+    threads = program.program()
+    init = program.initial_memory()
+    if method == "dpor":
+        schedules, stats = explore_program(threads)
+    else:
+        schedules = [list(s) for s in all_interleavings(threads)]
+        stats = DPORStats(interleavings=len(schedules),
+                          schedules_explored=len(schedules))
+
+    verdicts = {
+        name: MechanismVerdict(
+            mechanism=name,
+            expected_clean=mechanism_by_name(name).enforces_rp,
+            clean=True, traces_checked=0)
+        for name in mechanisms
+    }
+    px86_agreements = 0
+    prefix_cuts_clean = 0
+    traces = 0
+
+    for schedule in schedules:
+        trace = run_interleaving(threads, schedule, init=dict(init))
+        hb = HappensBefore.from_trace(trace, mode=hb_mode)
+        traces += 1
+        judgements = judge_trace(trace, list(mechanisms), hb=hb)
+        for name in mechanisms:
+            verdict = verdicts[name]
+            verdict.traces_checked += 1
+            judgement = judgements[name]
+            if judgement.clean or not verdict.clean:
+                continue
+            # First witness for this mechanism: confirm it with the
+            # stock consistent-cut checker on a materialized log.
+            witness = judgement.witness
+            count, problems = cut_violations(
+                trace, list(witness.persist_sequence), hb=hb)
+            verdict.clean = False
+            verdict.schedule = list(schedule)
+            verdict.witness = witness
+            verdict.confirmed_cut_violations = count
+            verdict.problems = problems
+            if name.lower() == "arp":
+                verdict.mechanism_allows = arp_allows(
+                    trace, list(witness.persist_sequence))
+            else:
+                # The state is guarantee-closed by construction.
+                verdict.mechanism_allows = True
+        if cross_check:
+            if _px86_agrees(trace, hb, hb_mode):
+                px86_agreements += 1
+            if _prefix_cuts_ok(trace, hb):
+                prefix_cuts_clean += 1
+
+    if out_dir:
+        for verdict in verdicts.values():
+            if verdict.witness is None:
+                continue
+            path = _witness_repro_path(out_dir, program.name,
+                                       verdict.mechanism)
+            _write_witness_repro(program, verdict, hb_mode, method, path)
+            verdict.repro_path = path
+
+    return ProgramCheck(
+        program=program.name, method=method, hb_mode=hb_mode,
+        stats=stats, verdicts=verdicts,
+        px86_agreements=px86_agreements,
+        px86_traces=traces if cross_check else 0,
+        prefix_cuts_clean=prefix_cuts_clean,
+        prefix_traces=traces if cross_check else 0,
+        seconds=round(time.perf_counter() - started, 3))
+
+
+def _px86_agrees(trace, hb: HappensBefore, hb_mode: str) -> bool:
+    """Px86 axioms == RP obligations on this trace (rp mode only —
+    the rc-mode closure deliberately orders more than Px86 does)."""
+    if hb_mode != "rp":
+        return True
+    rp_pairs = {(earlier.event_id, later.event_id)
+                for earlier, later in hb.write_pairs()}
+    return px86_write_pairs(trace) == rp_pairs
+
+
+def _prefix_cuts_ok(trace, hb: HappensBefore) -> bool:
+    """Every execution-order crash prefix passes RPChecker's cut check.
+
+    Execution-order prefixes are exactly the crash states an
+    RP-enforcing mechanism can expose (hb never orders against event
+    order), so each must come back consistent.
+    """
+    writes = [e.event_id for e in trace.events if e.is_write_effect]
+    for prefix_len in range(len(writes) + 1):
+        count, _problems = cut_violations(trace, writes[:prefix_len],
+                                          hb=hb)
+        if count:
+            return False
+    return True
+
+
+def _write_witness_repro(program: LitmusProgram,
+                         verdict: MechanismVerdict, hb_mode: str,
+                         method: str, path: str) -> None:
+    from repro.fuzz.reprofile import LitmusReproFile
+
+    witness = verdict.witness
+    repro = LitmusReproFile(
+        program=program.name,
+        mechanism=verdict.mechanism,
+        schedule=list(verdict.schedule),
+        persist_sequence=list(witness.persist_sequence),
+        verdict={
+            "kind": "litmus-cut",
+            "problems": list(verdict.problems),
+            "cut_violations": verdict.confirmed_cut_violations,
+        },
+        hb_mode=hb_mode,
+        source={
+            "explorer": method,
+            "visible_event": witness.visible_event,
+            "missing_event": witness.missing_event,
+            "mechanism_allows": verdict.mechanism_allows,
+        })
+    repro.save(path)

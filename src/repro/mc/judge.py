@@ -1,0 +1,248 @@
+"""Crash-state judging of one litmus execution, per mechanism.
+
+The model-level question: can the mechanism leave NVM in a state that
+is *not* a consistent cut of the execution?
+
+* A **crash state** is a set ``S`` of write events that is downward
+  closed under the mechanism's *guarantee* order — the persist-order
+  obligations the mechanism enforces. Every mechanism at least keeps
+  same-word coherence order (a word's store buffer / cache line
+  coalesces in order); RP-enforcing mechanisms (``enforces_rp``) add
+  every hb-ordered write pair of :class:`HappensBefore`'s chosen mode,
+  ARP adds exactly the :func:`repro.persistency.rp_model.arp_pairs`
+  obligations, NOP adds nothing.
+* ``S`` is **consistent** iff it is also downward closed under the
+  *model*'s write pairs — equivalently, iff ``rp_allows`` accepts its
+  execution-order linearization.
+
+A mechanism is *clean* on the trace iff every crash state is
+consistent. Instead of enumerating the (exponentially many) ideals,
+the verdict uses the principal-ideal argument:
+
+    some guarantee-closed ``S`` misses an hb-predecessor of a member
+        iff
+    some write ``y`` has an hb-predecessor outside its guarantee
+    down-closure ``down_g(y)``
+
+(⇐) ``down_g(y) ∪ {y}`` is itself guarantee-closed and misses the
+predecessor; (⇒) any guarantee-closed ``S`` containing ``y`` contains
+``down_g(y)``, so a missing predecessor lies outside ``down_g(y)``.
+The witness crash state is therefore always the principal ideal of the
+first offending write — the most adversarial state the mechanism
+permits, which is exactly the paper's Figure 1(e) image when judging
+ARP on the insert program. :func:`enumerate_crash_states` keeps the
+exhaustive enumeration for the tests that pin the equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.params import MachineConfig
+from repro.consistency.events import MemoryEvent, Trace
+from repro.consistency.happens_before import HappensBefore
+from repro.memory.nvm import NVMController
+from repro.persistency import mechanism_by_name
+from repro.persistency.rp_model import arp_pairs
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashWitness:
+    """A reachable, inconsistent crash state of one execution."""
+
+    #: Event ids of the persisted writes, in execution order (the
+    #: linearization ``rp_allows`` rejects).
+    persist_sequence: Tuple[int, ...]
+    #: The durable write whose hb-predecessor is missing.
+    visible_event: int
+    #: The missing hb-predecessor.
+    missing_event: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceJudgement:
+    """Verdict of one mechanism over one execution's crash states."""
+
+    mechanism: str
+    hb_mode: str
+    num_writes: int
+    witness: Optional[CrashWitness]
+
+    @property
+    def clean(self) -> bool:
+        return self.witness is None
+
+
+def _bits(mask: int) -> Iterator[int]:
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _coherence_pred(writes: Sequence[MemoryEvent]) -> List[int]:
+    """Per write index: bit of the previous write to the same word."""
+    direct = [0] * len(writes)
+    last: Dict[int, int] = {}
+    for index, event in enumerate(writes):
+        if event.addr in last:
+            direct[index] |= 1 << last[event.addr]
+        last[event.addr] = index
+    return direct
+
+
+def _model_pred_masks(writes: Sequence[MemoryEvent],
+                      hb: HappensBefore) -> List[int]:
+    """Per write index: bitset of its hb-earlier writes (transitive)."""
+    masks = []
+    for index, event in enumerate(writes):
+        preds = hb.closure[event.event_id]
+        mask = 0
+        for earlier in range(index):
+            if (preds >> writes[earlier].event_id) & 1:
+                mask |= 1 << earlier
+        masks.append(mask)
+    return masks
+
+
+def _close(direct: List[int]) -> List[int]:
+    """Transitive closure of per-index direct-predecessor bitsets.
+
+    Write indices ascend in event order and every edge points
+    backwards, so one forward sweep suffices.
+    """
+    closure = [0] * len(direct)
+    for index, mask in enumerate(direct):
+        acc = 0
+        for pred in _bits(mask):
+            acc |= closure[pred] | (1 << pred)
+        closure[index] = acc
+    return closure
+
+
+def _guarantee_closure(trace: Trace, mechanism: str,
+                       writes: Sequence[MemoryEvent],
+                       model_preds: List[int]) -> List[int]:
+    """Per write index: writes the mechanism forces to persist first."""
+    direct = _coherence_pred(writes)
+    name = mechanism.lower()
+    if mechanism_by_name(name).enforces_rp:
+        for index, mask in enumerate(model_preds):
+            direct[index] |= mask
+    elif name == "arp":
+        position = {event.event_id: index
+                    for index, event in enumerate(writes)}
+        for earlier, later in arp_pairs(trace):
+            direct[position[later]] |= 1 << position[earlier]
+    # NOP (and anything else without RP claims): coherence order only.
+    return _close(direct)
+
+
+def judge_trace(trace: Trace, mechanisms: Sequence[str],
+                hb_mode: str = "rp",
+                hb: Optional[HappensBefore] = None
+                ) -> Dict[str, TraceJudgement]:
+    """Judge every mechanism's crash states over one execution."""
+    hb = hb or HappensBefore.from_trace(trace, mode=hb_mode)
+    writes = [e for e in trace.events if e.is_write_effect]
+    model_preds = _model_pred_masks(writes, hb)
+    judgements: Dict[str, TraceJudgement] = {}
+    for mechanism in mechanisms:
+        guarantee = _guarantee_closure(trace, mechanism, writes,
+                                       model_preds)
+        witness = None
+        for index, required in enumerate(model_preds):
+            missing = required & ~guarantee[index]
+            if missing:
+                state = guarantee[index] | (1 << index)
+                witness = CrashWitness(
+                    persist_sequence=tuple(
+                        writes[i].event_id for i in _bits(state)),
+                    visible_event=writes[index].event_id,
+                    missing_event=writes[
+                        next(_bits(missing))].event_id)
+                break
+        judgements[mechanism] = TraceJudgement(
+            mechanism=mechanism, hb_mode=hb.mode,
+            num_writes=len(writes), witness=witness)
+    return judgements
+
+
+def enumerate_crash_states(trace: Trace, mechanism: str,
+                           hb_mode: str = "rp",
+                           hb: Optional[HappensBefore] = None
+                           ) -> Iterator[Tuple[List[int], bool]]:
+    """Every guarantee-closed crash state, with its consistency bit.
+
+    Yields ``(persist_sequence, consistent)`` pairs — the exhaustive
+    ground truth the principal-ideal verdict of :func:`judge_trace` is
+    pinned against (test scope only: cost is ``O(2^writes)``).
+    """
+    hb = hb or HappensBefore.from_trace(trace, mode=hb_mode)
+    writes = [e for e in trace.events if e.is_write_effect]
+    if len(writes) > 16:
+        raise ValueError(
+            f"enumerate_crash_states is exponential; {len(writes)} "
+            "writes is past the sanity bound of 16")
+    model_preds = _model_pred_masks(writes, hb)
+    guarantee = _guarantee_closure(trace, mechanism, writes, model_preds)
+    for state in range(1 << len(writes)):
+        closed = all(not (guarantee[i] & ~state) for i in _bits(state))
+        if not closed:
+            continue
+        consistent = all(not (model_preds[i] & ~state)
+                         for i in _bits(state))
+        yield [writes[i].event_id for i in _bits(state)], consistent
+
+
+def materialize_persist_log(trace: Trace, persist_sequence: Sequence[int],
+                            config: Optional[MachineConfig] = None
+                            ) -> NVMController:
+    """Build a synthetic NVM whose log persists exactly the sequence.
+
+    Each write event becomes one single-word persist, issued far
+    enough apart (one full persist latency per step) that completion
+    order equals issue order on every channel — so
+    ``nvm.persist_log()`` reproduces ``persist_sequence`` verbatim and
+    :class:`repro.persistency.checker.RPChecker` can judge the crash
+    state with its stock machinery.
+    """
+    config = config or MachineConfig()
+    nvm = NVMController(config)
+    stride = config.nvm_persist_cycles + config.nvm_occupancy_cycles
+    events = trace.events
+    for step, event_id in enumerate(persist_sequence):
+        event = events[event_id]
+        if not event.is_write_effect:
+            raise ValueError(
+                f"event {event_id} in persist sequence is not a write")
+        nvm.issue_persist(event.addr, {event.addr: (event.value, event_id)},
+                          now=step * stride)
+    return nvm
+
+
+def cut_violations(trace: Trace, persist_sequence: Sequence[int],
+                   hb: Optional[HappensBefore] = None,
+                   hb_mode: str = "rp") -> Tuple[int, List[str]]:
+    """RPChecker's consistent-cut verdict on a crash state.
+
+    Materializes the state as a synthetic persist log and runs
+    ``check_cut`` over the full prefix, keeping only violations whose
+    missing write is truly *absent* from the state (an "unreflected"
+    complaint about a write that did persist but was overwritten by an
+    hb-unordered same-word write is a read-reconstruction artifact,
+    not a missing-predecessor inconsistency — event-granularity crash
+    states persist whole events, never partial overwrites).
+
+    Returns ``(count, first problem lines)``.
+    """
+    from repro.persistency.checker import RPChecker
+
+    hb = hb or HappensBefore.from_trace(trace, mode=hb_mode)
+    nvm = materialize_persist_log(trace, persist_sequence)
+    checker = RPChecker(trace, nvm, hb=hb)
+    present = set(persist_sequence)
+    violations = [v for v in checker.check_cut(len(persist_sequence))
+                  if v.earlier.event_id not in present]
+    return len(violations), [str(v) for v in violations[:3]]

@@ -49,6 +49,24 @@ class TestClassify:
     def test_kinds(self, name, value, kind):
         assert classify(name, value) == kind
 
+    @pytest.mark.parametrize("name,value,kind", [
+        # BENCH_mc.json exploration counters: descriptive scale facts,
+        # not regressions — a new litmus program changing the totals
+        # must never gate CI.
+        ("programs.mp3_chain.schedules_explored", 10, "info"),
+        ("programs.mp3_chain.states_visited", 63, "info"),
+        ("programs.chain4.interleavings", 277200, "info"),
+        ("programs.chain4.backtrack_points", 77, "info"),
+        ("programs.bcast4.sleep_blocked", 0, "info"),
+        ("programs.bcast4.num_threads", 4, "info"),
+        ("programs.bcast4.num_ops", 8, "info"),
+        ("totals.reduction", 4756.2, "info"),
+        # ... while the selftest wall time stays a gated timing metric.
+        ("totals.seconds", 1.7, "timing"),
+    ])
+    def test_mc_exploration_counters_are_info(self, name, value, kind):
+        assert classify(name, value) == kind
+
 
 class TestCompareMetric:
     def test_timing_within_noise_is_ok(self):

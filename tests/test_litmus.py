@@ -80,6 +80,18 @@ class TestInterpreter:
         assert len(schedules) == count_interleavings(program)
         assert len(set(schedules)) == len(schedules)
 
+    def test_negative_thread_id_rejected(self):
+        """A negative id would silently alias a real thread through
+        Python's negative indexing — it must raise instead."""
+        program = [[write(0x8, 1)], [write(0x10, 2)]]
+        with pytest.raises(ValueError, match="invalid thread id"):
+            run_interleaving(program, [-1, 0])
+
+    def test_out_of_range_thread_id_rejected(self):
+        program = [[write(0x8, 1)], [write(0x10, 2)]]
+        with pytest.raises(ValueError, match="invalid thread id"):
+            run_interleaving(program, [0, 2])
+
     def test_ops_constructors(self):
         op = cas(0x8, 1, 2)
         assert op.kind == "cas"

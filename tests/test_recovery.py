@@ -58,6 +58,31 @@ class TestCrashPoints:
         assert len(points) == len(set(points)) == 40
 
 
+class TestCrashPointsContract:
+    """num_points < 2 cannot hold both mandatory endpoints — the
+    documented contract is to raise, never to silently drop one."""
+
+    @pytest.mark.parametrize("log_length", [0, 1, 5])
+    @pytest.mark.parametrize("num_points", [0, 1])
+    def test_fewer_than_two_points_rejected(self, num_points,
+                                            log_length):
+        with pytest.raises(ValueError, match="num_points must be >= 2"):
+            crash_points(log_length, num_points)
+
+    @pytest.mark.parametrize("log_length,expected", [
+        (0, [0]),           # only one distinct prefix exists
+        (1, [0, 1]),
+        (5, [0, 5]),        # endpoints, nothing sampled in between
+    ])
+    def test_minimum_budget_exact_points(self, log_length, expected):
+        assert crash_points(log_length, 2) == expected
+
+    @pytest.mark.parametrize("log_length", [0, 1, 5])
+    def test_length_is_min_of_budget_and_prefixes(self, log_length):
+        points = crash_points(log_length, 2)
+        assert len(points) == min(2, log_length + 1)
+
+
 @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
 @pytest.mark.parametrize("mechanism", ["sb", "bb", "lrp"])
 class TestRPMechanismsRecover:
