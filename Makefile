@@ -5,8 +5,8 @@
 PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
-.PHONY: help test smoke selftest fuzz-smoke mc-smoke provenance \
-        figures trace bench-report profile perf-smoke clean
+.PHONY: help test smoke selftest fuzz-smoke mc-smoke obsfast-smoke \
+        provenance figures trace bench-report profile perf-smoke clean
 
 help:
 	@echo "make test          - full tier-1 suite"
@@ -19,6 +19,11 @@ help:
 	@echo "                     trace classes + verdicts pinned against"
 	@echo "                     brute force and the Px86 axioms, witness"
 	@echo "                     replay, reduction ratio -> BENCH_mc.json"
+	@echo "make obsfast-smoke - batched-engine telemetry gate: paper-"
+	@echo "                     scale cell plain vs observed (ABBA"
+	@echo "                     median), makespan identity, exact fast-"
+	@echo "                     vs-reference reconciliation across all"
+	@echo "                     7 mechanisms -> BENCH_obsfast.json"
 	@echo "make provenance    - persist-provenance flame + diff demo"
 	@echo "                     (capture/fold/diff into provenance-out/)"
 	@echo "make figures       - regenerate the paper figures (quick scale)"
@@ -69,6 +74,13 @@ fuzz-smoke:
 mc-smoke:
 	$(PY) -m repro.mc --selftest --quiet --bench-out BENCH_mc.json
 
+# Telemetry gate for the batched engine: one paper-scale hashmap/lrp
+# cell plain vs observed (metrics + timeline), overhead bounded at
+# 15%, every makespan byte-identical, and the exact fast-vs-reference
+# reconciliation matrix. Writes BENCH_obsfast.json for bench-report.
+obsfast-smoke:
+	$(PY) -m repro.obs fastsmoke --bench-out BENCH_obsfast.json
+
 # Persist-provenance demo: capture BB and LRP runs of the hashmap,
 # fold the LRP stalls into a flamegraph, and diff the two captures
 # (the EXPERIMENTS.md "Persist provenance" walkthrough).
@@ -103,13 +115,16 @@ perf-smoke:
 		--check-against benchmarks/baselines/BENCH_profile.json
 
 # Cross-run benchmark regression dashboard: refresh the runner
-# snapshot, compare every BENCH_*.json against benchmarks/baselines/,
-# write BENCH_REPORT.md, and fail on regression.
+# snapshot (heartbeats on, so a watcher — or the dashboard's live
+# section — can follow it), compare every BENCH_*.json against
+# benchmarks/baselines/, write BENCH_REPORT.md, and fail on
+# regression. The --live section folds any in-flight sweep's
+# heartbeats into the report.
 bench-report:
-	$(PY) -m repro.exp --selftest --quiet --obs
-	$(PY) -m repro.bench.history --output BENCH_REPORT.md
+	REPRO_HEARTBEAT_DIR=heartbeats $(PY) -m repro.exp --selftest --quiet --obs
+	$(PY) -m repro.bench.history --output BENCH_REPORT.md --live heartbeats
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks provenance-out
-	rm -f BENCH_runner.json BENCH_REPORT.md lrp-trace.json
+	rm -rf .pytest_cache .hypothesis .benchmarks provenance-out heartbeats
+	rm -f BENCH_runner.json BENCH_obsfast.json BENCH_REPORT.md lrp-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -65,7 +65,11 @@ INFO_MARKERS = ("suite.", "spec.", "cpu_count", "workers", "jobs",
                 "cache_hits", "cache_misses", "derived_from",
                 "interleavings", "schedules_explored", "states_visited",
                 "sleep_blocked", "backtrack_points", "reduction",
-                "num_ops", "num_threads")
+                "num_ops", "num_threads",
+                # Telemetry overhead percentages (BENCH_obsfast.json)
+                # are wall-clock-derived ratios: informational context
+                # for the gated seconds metrics, not gated themselves.
+                "overhead")
 
 
 def flatten(data: object, prefix: str = "") -> Dict[str, Scalar]:
@@ -327,6 +331,38 @@ def render_dashboard(comparisons: Iterable[SnapshotComparison],
     return "\n".join(lines)
 
 
+def render_live_section(directory: str) -> str:
+    """Markdown section of in-flight sweep jobs from heartbeat files.
+
+    The incremental feed for ``make bench-report``: a sweep launched
+    with ``REPRO_HEARTBEAT_DIR`` set drops per-job status JSON into
+    ``directory``; this folds the same one-line-per-job view the
+    ``--watch`` renderer shows into the dashboard. A missing or empty
+    directory yields an explanatory stub rather than an error, so the
+    section is safe to request unconditionally.
+    """
+    import time
+
+    from repro.exp import heartbeat
+
+    lines = ["", "## Live sweep", ""]
+    entries = heartbeat.read_heartbeats(directory)
+    if not entries:
+        lines.append(f"No heartbeat files in `{directory}/` — launch a "
+                     f"sweep with `REPRO_HEARTBEAT_DIR={directory}` to "
+                     f"feed this section.")
+    else:
+        watch_lines, stale = heartbeat.render_watch(entries, time.time())
+        lines.append("```")
+        lines.extend(watch_lines)
+        lines.append("```")
+        if stale:
+            lines.append(f"({stale} job(s) STALE — heartbeats stopped "
+                         f"without a terminal status)")
+    lines.append("")
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -353,6 +389,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="accept the current snapshots as the new "
                              "baselines")
+    parser.add_argument("--live", metavar="DIR",
+                        help="append a live-jobs section from the "
+                             "heartbeat files in DIR (written by "
+                             "REPRO_HEARTBEAT_DIR-enabled sweeps); "
+                             "silently skipped when DIR is absent")
     args = parser.parse_args(argv)
 
     snapshots = (list(args.snapshots) if args.snapshots
@@ -377,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     comparisons = compare_all(snapshots, args.baseline_dir,
                               args.threshold)
     dashboard = render_dashboard(comparisons, args.threshold)
+    if args.live:
+        dashboard += render_live_section(args.live)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(dashboard)

@@ -19,7 +19,13 @@ Two jobs beyond interactive profiling:
   (``benchmarks/baselines/BENCH_profile.json``) and exits non-zero on
   a >``--tolerance`` slowdown or *any* makespan change (makespans are
   deterministic; wall times are not, hence the generous default
-  tolerance for shared CI machines).
+  tolerance for shared CI machines). Baselines carry the engine they
+  were recorded on, so the wall gate is applied per engine — a
+  fast-engine run never races a reference-engine baseline.
+
+``--obs`` times a second, identical cell with the metrics+timeline
+Observer attached and reports the telemetry overhead (and that the
+makespan did not move), for either engine.
 """
 
 from __future__ import annotations
@@ -47,25 +53,36 @@ from repro.persistency import MECHANISMS
 #: Cells in a full Figure 5 sweep: 5 workloads x (nop + sb/bb/lrp).
 FIG5_CELLS = 20
 
+#: Timeline window width (cycles) for the ``--obs`` telemetry pass —
+#: the configuration the batch engine accepts without falling back.
+OBS_TIMELINE_INTERVAL = 1000
+
 
 def run_cell(workload: str, mechanism: str, *, scale: str = "quick",
              num_threads: int = 32, seed: int = 1,
-             profiler: Optional[cProfile.Profile] = None
-             ) -> Dict[str, object]:
+             profiler: Optional[cProfile.Profile] = None,
+             obs: bool = False) -> Dict[str, object]:
     """One cold figure cell; returns the measurement record.
 
     Cold means: the setup-prototype cache is dropped first, so the
     measured time includes building and populating the structure —
     the same work a fresh ``--no-cache`` figures run pays per cell.
+    ``obs=True`` attaches a metrics+timeline Observer — the telemetry
+    configuration the fast engine accepts — so the same harness prices
+    the instrumented run.
     """
     spec = figure_spec(workload, num_threads=num_threads, scale=scale,
                        seed=seed)
     config = bench_config(SCALED_CONFIG)
+    observer = None
+    if obs:
+        from repro.obs import Observer
+        observer = Observer(timeline_interval=OBS_TIMELINE_INTERVAL)
     clear_setup_cache()
     start = time.perf_counter()
     if profiler is not None:
         profiler.enable()
-    result = simulate(spec, mechanism, config)
+    result = simulate(spec, mechanism, config, observer=observer)
     if profiler is not None:
         profiler.disable()
     elapsed = time.perf_counter() - start
@@ -93,7 +110,8 @@ def check_against(record: Dict[str, object], baseline_path: str,
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     failures = []
-    for key in ("workload", "mechanism", "scale", "num_threads", "seed"):
+    for key in ("workload", "mechanism", "scale", "num_threads", "seed",
+                "engine"):
         if baseline.get(key) != record[key]:
             failures.append(
                 f"baseline is for {key}={baseline.get(key)!r}, this run "
@@ -139,6 +157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default="fast",
                         help="'reference' forces REPRO_FASTSIM=0 for "
                              "before/after comparisons")
+    parser.add_argument("--obs", action="store_true",
+                        help="also time an identical cell with the "
+                             "metrics+timeline Observer attached and "
+                             "report the telemetry overhead")
     parser.add_argument("--top", type=int, default=20, metavar="N",
                         help="functions to show from a second, "
                              "cProfile'd run (0 = skip the profiled "
@@ -172,6 +194,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  projected full Figure 5 sweep at this scale: "
           f"~{record['projected_fig5_sweep_seconds']} s "
           f"({FIG5_CELLS} cells, naive per-cell extrapolation)")
+
+    if args.obs:
+        obs_record = run_cell(args.workload, args.mechanism,
+                              scale=args.scale, num_threads=args.threads,
+                              seed=args.seed, obs=True)
+        plain_seconds = record["seconds"]
+        record["obs_seconds"] = obs_record["seconds"]
+        record["obs_overhead_pct"] = (
+            round((obs_record["seconds"] / plain_seconds - 1.0) * 100, 1)
+            if plain_seconds else None)
+        record["obs_makespan_identical"] = (
+            obs_record["makespan"] == record["makespan"])
+        print(f"  with telemetry  : {record['obs_seconds']} s "
+              f"(+{record['obs_overhead_pct']}%, makespan "
+              f"{'identical' if record['obs_makespan_identical'] else 'CHANGED'})")
 
     if args.top > 0:
         profiler = cProfile.Profile()

@@ -162,13 +162,15 @@ class Machine:
         """Coherence access plus persistency side-effect hooks.
 
         The batch engine's slow-op path: exactly the fabric/hook prefix
-        of :meth:`execute` (same stats, same hook order, same
-        assertions) minus the observer narration — the batch engine
-        only runs with no observer attached. Returns the requester's
-        now-valid line and the accumulated latency; the caller applies
-        the operation itself (:meth:`_do_read` & friends or the batch
-        engine's inline equivalents).
+        of :meth:`execute` — same stats, same hook order, same
+        assertions, and (when an Observer is attached, as it is on
+        fast-path telemetry runs) the same ``coh.*`` narration.
+        Returns the requester's now-valid line and the accumulated
+        latency; the caller applies the operation itself
+        (:meth:`_do_read` & friends or the batch engine's inline
+        equivalents).
         """
+        obs = self.obs
         stats = self.stats[core]
         access = self.fabric.access(core, line_addr, exclusive=exclusive,
                                     now=now)
@@ -182,6 +184,13 @@ class Machine:
             self.stats[dg.owner].downgrades_received += 1
             if dg.was_modified and not dg.had_pending:
                 self.stats[dg.owner].writebacks_total += 1
+            if obs is not None:
+                obs.count("coh.downgrades")
+                if dg.had_pending:
+                    obs.count("coh.downgrades_dirty")
+                obs.tick("coh.downgrades", now + latency)
+                obs.instant(f"core{core}", f"downgrade c{dg.owner}",
+                            now + latency, cat="coherence")
             latency += self.mechanism.on_downgrade(
                 dg.owner, dg.line, dg.to_state, core, now + latency)
             if dg.line.has_pending:
@@ -193,22 +202,29 @@ class Machine:
             stats.evictions += 1
             if ev.was_modified and not ev.had_pending:
                 stats.writebacks_total += 1
+            if obs is not None:
+                obs.count("coh.evictions")
+                if ev.had_pending:
+                    obs.count("coh.evictions_dirty")
+                obs.tick("coh.evictions", now + latency)
+                obs.instant(f"core{core}", "evict", now + latency,
+                            cat="coherence")
             latency += self.mechanism.on_evict(core, ev.line, now + latency)
             if ev.line.has_pending:
                 raise AssertionError(
                     f"{self.mechanism.name}: evicted line "
                     f"{ev.line.addr:#x} still holds unpersisted words")
         stats.invalidations_received += access.invalidated_sharers
+        if obs is not None and access.invalidated_sharers:
+            obs.count("coh.invalidations", access.invalidated_sharers)
         return access.line, latency
 
-    def make_fast_path(self):
+    def make_fast_path(self, fastobs=None):
         """Build the fused miss/upgrade handlers for the batch engine.
 
         Returns ``(fast_miss, fast_upgrade)`` closures with every piece
         of fabric state pre-bound (all the referenced containers are
-        identity-stable for the machine's lifetime). Only valid while
-        no observer is attached — the batch engine already refuses to
-        run otherwise.
+        identity-stable for the machine's lifetime).
 
         ``fast_miss`` is one flat function equivalent to
         :meth:`CoherenceFabric.access` (miss case) plus the side-effect
@@ -220,6 +236,21 @@ class Machine:
         owner or evicts a victim, so only the invalidation count
         reaches stats). Both are pinned against the reference path by
         the fast-vs-reference equivalence tests.
+
+        With ``fastobs`` (a :class:`repro.obs.fastobs.FastObs`) the
+        closures also bump its flat coherence slots, replicating the
+        observed layered path emission-for-emission:
+        ``dir.misses``/``dir.upgrades`` and block-wait accounting,
+        post-fill set occupancy, per-event hop counts (which accrue
+        only between distinct tiles, mirroring :meth:`MeshNoC.latency`)
+        and the ``coh.*`` counts with their timeline ticks at the
+        layered path's exact timestamps (downgrades before the
+        mechanism's downgrade stall, evictions after it). The
+        fixed-ratio streams — ``noc.msgs`` (3 per miss + 1 per
+        forwarding downgrade, 2 per upgrade + 1 per invalidating
+        upgrade) and ``l1.fills`` (1 per miss) — are derived from those
+        tallies at :meth:`FastObs.flush` instead of being counted per
+        event.
         """
         fabric = self.fabric
         stats_list = self.stats
@@ -246,6 +277,40 @@ class Machine:
         lines_by_core = [l1.lines for l1 in l1s]
         assoc = l1s[0]._assoc
 
+        if fastobs is not None:
+            from repro.obs import fastobs as _fo
+
+            fo_coh = fastobs.coh
+            fo_occ = fastobs.occupancy
+            fo_bw = fastobs.block_wait
+            fo_interval = fastobs.interval
+            fo_tl_dg = fastobs.tl_downgrades
+            fo_tl_ev = fastobs.tl_evictions
+            hop = fabric.noc.hop_distance
+            hops_tab = [hop(a, b)
+                        for a in range(n) for b in range(n)]
+            # Folded per-event hop totals: a plain (unforwarded) miss
+            # crosses requester->home twice plus home->requester once;
+            # an upgrade crosses requester->home twice. One table
+            # lookup then replaces two lookups and two adds on the
+            # hottest path.
+            hops_miss3 = [2 * hop(a, b) + hop(b, a)
+                          for a in range(n) for b in range(n)]
+            hops_pair2 = [2 * hop(a, b)
+                          for a in range(n) for b in range(n)]
+            S_MISS = _fo.SLOT_DIR_MISSES
+            S_UPG = _fo.SLOT_DIR_UPGRADES
+            S_BW = _fo.SLOT_DIR_BLOCK_WAIT_CYCLES
+            S_HOPS = _fo.SLOT_NOC_HOPS
+            S_DG = _fo.SLOT_COH_DOWNGRADES
+            S_DGD = _fo.SLOT_COH_DOWNGRADES_DIRTY
+            S_EV = _fo.SLOT_COH_EVICTIONS
+            S_EVD = _fo.SLOT_COH_EVICTIONS_DIRTY
+            S_INV = _fo.SLOT_COH_INVALIDATIONS
+            S_UPG_INV = _fo.SLOT_AUX_UPGRADE_INV
+        else:
+            fo_coh = None
+
         def fast_miss(core, line_addr, now, exclusive, set_index):
             stats = stats_list[core]
             stats.l1_misses += 1
@@ -266,6 +331,16 @@ class Machine:
             else:
                 block_wait = 0
             latency = l1_hit_cycles + req_home + llc_hit + block_wait
+            if fo_coh is not None:
+                # Message and fill counts are derived at flush from the
+                # event tallies (3 msgs + 1 fill per miss, +1 msg per
+                # forwarding downgrade); only hop distances — which
+                # depend on the actual core/home/owner placement — and
+                # the rarer tallies are accumulated per event here.
+                fo_coh[S_MISS] += 1
+                if block_wait:
+                    fo_coh[S_BW] += block_wait
+                    fo_bw[block_wait] = fo_bw.get(block_wait, 0) + 1
 
             # Remote owner: demote. Transitions happen now; the
             # mechanism hooks run after the full coherence latency is
@@ -297,8 +372,20 @@ class Machine:
                     sharers[lid] |= 1 << owner
                 owner_arr[lid] = -1
                 dg_owner = owner
+                if fo_coh is not None:
+                    # Doubled requester->home leg plus the forwarding
+                    # legs home->owner and owner->core.
+                    d = (hops_pair2[core * n + home]
+                         + hops_tab[home * n + owner]
+                         + hops_tab[owner * n + core])
+                    if d:
+                        fo_coh[S_HOPS] += d
             else:
                 latency += lat[home * n + core]
+                if fo_coh is not None:
+                    d = hops_miss3[core * n + home]
+                    if d:
+                        fo_coh[S_HOPS] += d
 
             invalidated = 0
             if exclusive:
@@ -373,6 +460,10 @@ class Machine:
             tick = l1._tick + 1
             l1._tick = tick
             lru_list[slot] = tick
+            if fo_coh is not None:
+                # Layered L1.fill: post-insert set occupancy (the fill
+                # count itself is one-per-miss, derived at flush).
+                fo_occ[len(cache_set)] += 1
 
             # Side-effect hooks, in the layered path's order.
             if dg_owner >= 0:
@@ -380,6 +471,15 @@ class Machine:
                 ostats.downgrades_received += 1
                 if dg_was_modified and not dg_had_pending:
                     ostats.writebacks_total += 1
+                if fo_coh is not None:
+                    # Narrated before the mechanism's downgrade stall
+                    # grows latency, exactly like Machine.execute.
+                    fo_coh[S_DG] += 1
+                    if dg_had_pending:
+                        fo_coh[S_DGD] += 1
+                    if fo_interval:
+                        w = (now + latency) // fo_interval
+                        fo_tl_dg[w] = fo_tl_dg.get(w, 0) + 1
                 latency += mechanism.on_downgrade(
                     dg_owner, owner_line, dg_to_state, core, now + latency)
                 if owner_line.pending_words:
@@ -392,6 +492,15 @@ class Machine:
                 ev_had_pending = bool(victim.pending_words)
                 if victim._state is MODIFIED and not ev_had_pending:
                     stats.writebacks_total += 1
+                if fo_coh is not None:
+                    # Narrated after any downgrade stall, before the
+                    # eviction's own: the layered path's timestamp.
+                    fo_coh[S_EV] += 1
+                    if ev_had_pending:
+                        fo_coh[S_EVD] += 1
+                    if fo_interval:
+                        w = (now + latency) // fo_interval
+                        fo_tl_ev[w] = fo_tl_ev.get(w, 0) + 1
                 latency += mechanism.on_evict(core, victim, now + latency)
                 if victim.pending_words:
                     raise AssertionError(
@@ -399,6 +508,8 @@ class Machine:
                         f"{victim.addr:#x} still holds unpersisted words")
             if invalidated:
                 stats.invalidations_received += invalidated
+                if fo_coh is not None:
+                    fo_coh[S_INV] += invalidated
             return line, latency
 
         def fast_upgrade(core, line, now):
@@ -427,9 +538,26 @@ class Machine:
             codes_by_core[core][line._slot] = MODIFIED_CODE
             latency = (l1_hit_cycles + 2 * req_home + llc_hit
                        + block_wait)
+            if fo_coh is not None:
+                # Observed _upgrade: two messages (arrival probe plus
+                # one doubled-value noc.latency call), derived at flush
+                # from the upgrade count; hops accrue here.
+                d = hops_pair2[core * n + home]
+                if d:
+                    fo_coh[S_HOPS] += d
+                fo_coh[S_UPG] += 1
+                if block_wait:
+                    fo_coh[S_BW] += block_wait
+                    fo_bw[block_wait] = fo_bw.get(block_wait, 0) + 1
             if invalidated:
                 latency += lat[home * n + core]  # inv/ack, overlapped
                 stats.invalidations_received += invalidated
+                if fo_coh is not None:
+                    fo_coh[S_UPG_INV] += 1
+                    d = hops_tab[home * n + core]
+                    if d:
+                        fo_coh[S_HOPS] += d
+                    fo_coh[S_INV] += invalidated
             return latency
 
         return fast_miss, fast_upgrade

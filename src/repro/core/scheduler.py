@@ -73,6 +73,10 @@ class Scheduler:
         # Priority nudges (repro.fuzz): decision index -> runnable rank.
         # None keeps the optimized heap path below completely untouched.
         self._nudges: Optional[Dict[int, int]] = None
+        # Why the batch engine declined the last run (None = it ran).
+        # Recorded by run() and surfaced as the fastsim_fallback
+        # diagnostic on SimulationResult / RunSummary.
+        self.fastsim_refusal: Optional[fastsim.Refusal] = None
 
     @property
     def executed_ops(self) -> int:
@@ -96,9 +100,10 @@ class Scheduler:
 
     def run(self) -> int:
         """Execute until every thread finishes; returns the makespan."""
+        self.fastsim_refusal = fastsim.check(self)
         if self._nudges is not None:
             return self._run_nudged()
-        if fastsim.eligible(self):
+        if self.fastsim_refusal is None:
             # Bit-identical batched execution (see repro.core.fastsim);
             # REPRO_FASTSIM=0 forces the reference loop below.
             return fastsim.run(self)

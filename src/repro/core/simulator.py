@@ -94,6 +94,10 @@ class SimulationResult:
     #: Total operations executed (= schedule decisions taken) — the
     #: decision-index space the fuzzer's schedule nudges range over.
     executed_ops: int = 0
+    #: Why the batch engine fell back to the reference loop (the
+    #: :class:`repro.core.fastsim.Refusal` value string), or None when
+    #: the fast path ran.
+    fastsim_fallback: Optional[str] = None
 
     @property
     def trace(self):
@@ -171,11 +175,13 @@ def simulate(spec: WorkloadSpec,
         num_threads=spec.num_threads,
         per_core=machine.stats[:spec.num_threads],
     )
+    refusal = scheduler.fastsim_refusal
     return SimulationResult(
         spec=spec, mechanism=machine.mechanism.name, config=config,
         machine=machine, structure=structure, outcomes=outcomes,
         stats=stats, makespan=makespan,
-        executed_ops=scheduler.executed_ops)
+        executed_ops=scheduler.executed_ops,
+        fastsim_fallback=refusal.value if refusal is not None else None)
 
 
 def simulate_all_mechanisms(

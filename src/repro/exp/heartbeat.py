@@ -1,0 +1,216 @@
+"""Per-job worker heartbeats for live sweep monitoring.
+
+Long paper-scale sweeps run inside worker processes with nothing on
+the terminal except the runner's one-line counter — a wedged or slow
+cell is indistinguishable from a busy one. When ``$REPRO_HEARTBEAT_DIR``
+is set, every :func:`~repro.exp.runner.execute_job` invocation keeps a
+small JSON heartbeat file in that directory up to date:
+
+* ``state`` — ``setup`` / ``running`` / ``done`` / ``failed``;
+* ``execs`` and ``quantum_clock`` — mid-run progress, fed by the batch
+  engine's :data:`repro.core.fastsim.PROGRESS_HOOK`;
+* ``telemetry`` — a small snapshot of live Observer counters (persist
+  lines, stall cycles) when the job collects obs;
+* ``started_at`` / ``updated_at`` — wall-clock timestamps the watcher
+  uses for staleness detection.
+
+Writes are atomic (temp file + ``os.replace``) so a reader never sees
+a torn file, and wall-clock throttled so the hook costs nothing
+measurable. Heartbeats are pure wall-clock side channel: they never
+touch simulator state, and the simulation stays bit-identical with or
+without them.
+
+Consumers: ``python -m repro.exp --watch DIR`` renders the directory
+live (stale heartbeats get a ``STALE`` marker and a warning rather
+than a crash), and ``repro.bench.history --live DIR`` folds the same
+view into the benchmark dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Environment variable naming the heartbeat directory. Deliberately
+#: an env var rather than a Job field: Job feeds the content-addressed
+#: result cache, and a monitoring knob must not change cache keys.
+ENV_DIR = "REPRO_HEARTBEAT_DIR"
+
+#: Seconds without an update after which a running job counts as stale.
+DEFAULT_TTL = 15.0
+
+#: States that mean the worker is finished with the job.
+TERMINAL_STATES = frozenset({"done", "failed"})
+
+#: Minimum seconds between non-terminal writes (throttle).
+MIN_WRITE_GAP = 0.25
+
+
+def slug(label: str) -> str:
+    """A filesystem-safe file stem for a job label."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label) or "job"
+
+
+class HeartbeatWriter:
+    """Maintains one job's heartbeat file with atomic, throttled writes."""
+
+    def __init__(self, directory: str, label: str) -> None:
+        self.directory = directory
+        self.label = label
+        self.path = os.path.join(directory, slug(label) + ".json")
+        self._started_at = time.time()
+        self._last_write = 0.0
+
+    def update(self, state: str, **fields: object) -> bool:
+        """Write the heartbeat; returns False when throttled away.
+
+        Terminal states always write (the final record must land);
+        intermediate ones are dropped when the last write is fresher
+        than :data:`MIN_WRITE_GAP`.
+        """
+        now = time.time()
+        if (state not in TERMINAL_STATES
+                and now - self._last_write < MIN_WRITE_GAP):
+            return False
+        payload: Dict[str, object] = {
+            "label": self.label,
+            "state": state,
+            "pid": os.getpid(),
+            "started_at": self._started_at,
+            "updated_at": now,
+        }
+        payload.update(fields)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            # Monitoring must never take the job down with it.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self._last_write = now
+        return True
+
+
+def job_writer(label: str) -> Optional[HeartbeatWriter]:
+    """A writer for this job, or None when heartbeats are disabled."""
+    directory = os.environ.get(ENV_DIR)
+    if not directory:
+        return None
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError:
+        return None
+    return HeartbeatWriter(directory, label)
+
+
+def read_heartbeats(directory: str) -> List[Dict[str, object]]:
+    """All readable heartbeats in ``directory``, sorted by label.
+
+    Corrupt or half-written files degrade to an ``unreadable`` entry
+    instead of raising — a crashed worker must not take the watcher
+    down with it. A missing directory reads as empty.
+    """
+    entries: List[Dict[str, object]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return entries
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            entries.append({"label": name[:-len(".json")],
+                            "state": "unreadable"})
+            continue
+        if not isinstance(data, dict):
+            entries.append({"label": name[:-len(".json")],
+                            "state": "unreadable"})
+            continue
+        data.setdefault("label", name[:-len(".json")])
+        entries.append(data)
+    entries.sort(key=lambda e: str(e.get("label", "")))
+    return entries
+
+
+def is_stale(entry: Dict[str, object], now: float,
+             ttl: float = DEFAULT_TTL) -> bool:
+    """Whether a non-terminal heartbeat has gone silent past the TTL."""
+    state = entry.get("state")
+    if state in TERMINAL_STATES or state == "unreadable":
+        return False
+    updated = entry.get("updated_at")
+    if not isinstance(updated, (int, float)):
+        return True
+    return now - updated > ttl
+
+
+def render_watch(entries: List[Dict[str, object]], now: float,
+                 ttl: float = DEFAULT_TTL,
+                 directory: str = "") -> Tuple[List[str], int]:
+    """Render heartbeat entries as display lines.
+
+    Returns ``(lines, stale_count)``; stale running jobs get a STALE
+    marker in place of live progress and one trailing warning line,
+    never an exception.
+    """
+    where = f" in {directory}" if directory else ""
+    lines = [f"[watch] {len(entries)} job(s){where} (TTL {ttl:.0f}s)"]
+    if not entries:
+        lines.append("  (no heartbeats yet)")
+        return lines, 0
+    width = max(len(str(e.get("label", ""))) for e in entries)
+    stale_count = 0
+    for entry in entries:
+        label = str(entry.get("label", "?")).ljust(width)
+        state = str(entry.get("state", "?"))
+        updated = entry.get("updated_at")
+        age = (f"{now - updated:.1f}s"
+               if isinstance(updated, (int, float)) else "?")
+        parts = [f"  {label}  {state:<8}"]
+        if is_stale(entry, now, ttl):
+            stale_count += 1
+            parts.append(f"STALE (no heartbeat for {age})")
+        else:
+            execs = entry.get("execs")
+            if execs is not None:
+                parts.append(f"execs={execs}")
+            quantum = entry.get("quantum_clock")
+            if quantum is not None:
+                parts.append(f"clock={quantum}")
+            makespan = entry.get("makespan")
+            if makespan is not None:
+                parts.append(f"makespan={makespan}")
+            telemetry = entry.get("telemetry")
+            if isinstance(telemetry, dict):
+                parts.extend(f"{key}={value}"
+                             for key, value in sorted(telemetry.items()))
+            error = entry.get("error")
+            if error:
+                parts.append(f"error={error}")
+            parts.append(f"age={age}")
+        lines.append(" ".join(parts))
+    if stale_count:
+        lines.append(f"warning: {stale_count} heartbeat(s) stale "
+                     f"(>{ttl:.0f}s without an update) — the worker may "
+                     "have died; results for those cells are in doubt")
+    return lines, stale_count
+
+
+def all_terminal(entries: List[Dict[str, object]]) -> bool:
+    """True when every heartbeat reached done/failed (or is unreadable)."""
+    return bool(entries) and all(
+        entry.get("state") in TERMINAL_STATES
+        or entry.get("state") == "unreadable"
+        for entry in entries)

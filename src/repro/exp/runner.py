@@ -33,7 +33,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import MachineConfig
 from repro.common.stats import RunStats
+from repro.core import fastsim
 from repro.core.simulator import SimulationResult, simulate
+from repro.exp import heartbeat
 from repro.exp.cache import ResultCache, code_version, stable_digest
 from repro.exp.progress import NullProgress, ProgressReporter
 from repro.workloads.harness import WorkloadSpec
@@ -116,6 +118,11 @@ class RunSummary:
     #: Fuzzing-leg payload (coverage list, crash outcomes, executed
     #: ops); ``None`` unless the job carried a ``fuzz`` spec.
     fuzz: Optional[Dict[str, object]] = None
+    #: Why the batch engine fell back to the reference loop (a
+    #: :class:`repro.core.fastsim.Refusal` value string, e.g.
+    #: ``"observer-trace"``) — None when the fast path ran. Printable
+    #: live with ``REPRO_FASTSIM_DEBUG=1``.
+    fastsim_fallback: Optional[str] = None
 
 
 def summarize(result: SimulationResult) -> RunSummary:
@@ -146,7 +153,20 @@ def summarize(result: SimulationResult) -> RunSummary:
         persist_count=result.nvm.persist_count,
         persist_log_digest=hasher.hexdigest(),
         mechanism_counters=mechanism_counters,
+        fastsim_fallback=result.fastsim_fallback,
     )
+
+
+def _telemetry_snapshot(observer) -> Optional[Dict[str, int]]:
+    """A tiny live-counter snapshot for the heartbeat file."""
+    if observer is None:
+        return None
+    counters = observer.metrics.counters
+    return {
+        "persist.lines": counters.get("persist.lines", 0),
+        "stall.cycles": sum(value for name, value in counters.items()
+                            if name.startswith("stall.")),
+    }
 
 
 def execute_job(job: Job) -> RunSummary:
@@ -162,8 +182,26 @@ def execute_job(job: Job) -> RunSummary:
                                         or job.fuzz is not None))
     nudges = (dict(job.schedule_nudges)
               if job.schedule_nudges is not None else None)
-    result = simulate(job.spec, job.mechanism, job.config,
-                      observer=observer, schedule_nudges=nudges)
+    heartbeat_writer = heartbeat.job_writer(job.label())
+    if heartbeat_writer is not None:
+        heartbeat_writer.update("setup")
+
+        def _on_progress(execs: int, clock: int) -> None:
+            heartbeat_writer.update(
+                "running", execs=execs, quantum_clock=clock,
+                telemetry=_telemetry_snapshot(observer))
+
+        fastsim.PROGRESS_HOOK = _on_progress
+    try:
+        result = simulate(job.spec, job.mechanism, job.config,
+                          observer=observer, schedule_nudges=nudges)
+    except BaseException as exc:
+        if heartbeat_writer is not None:
+            heartbeat_writer.update("failed", error=repr(exc))
+        raise
+    finally:
+        if heartbeat_writer is not None:
+            fastsim.PROGRESS_HOOK = None
     summary = summarize(result)
     if observer is not None:
         summary.obs = observer.export()
@@ -182,6 +220,10 @@ def execute_job(job: Job) -> RunSummary:
                               seed=job.crash_seed)
         summary.crash_attempts = campaign.attempts
         summary.crash_failures = len(campaign.failures)
+    if heartbeat_writer is not None:
+        heartbeat_writer.update(
+            "done", execs=result.executed_ops, makespan=result.makespan,
+            telemetry=_telemetry_snapshot(observer))
     return summary
 
 

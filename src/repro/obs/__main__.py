@@ -23,6 +23,11 @@ Subcommands:
 * ``diff`` — align two same-workload/seed captures across mechanisms
   and report first divergence, per-site deltas, and persists
   avoided-vs-moved;
+* ``fastsmoke`` — gate the batched engine's telemetry: one paper-scale
+  cell plain vs observed (interleaved min-of-N wall times), makespan
+  identity, exact fast-vs-reference reconciliation across the full
+  mechanism matrix, overhead bounded by ``--overhead-limit``; writes
+  ``BENCH_obsfast.json``;
 * ``--selftest`` — end-to-end check on a tiny workload: obs hooks
   disabled vs. enabled yield bit-identical runs, the trace export
   round-trips through ``json`` with monotone per-track timestamps, the
@@ -62,6 +67,10 @@ from repro.obs.timeline import render_timeline, write_timeline_csv
 from repro.workloads.harness import WorkloadSpec
 
 SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+#: Every mechanism the batched-engine telemetry must reconcile against
+#: the reference Observer, counter for counter and window for window.
+FULL_MECHANISMS = ("nop", "sb", "bb", "arp", "dpo", "hops", "lrp")
 
 #: Window width (cycles) used when the user does not pass --interval.
 DEFAULT_TIMELINE_INTERVAL = 1000
@@ -307,6 +316,69 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Fast-engine telemetry reconciliation
+# ----------------------------------------------------------------------
+
+def _engine_run(spec: WorkloadSpec, mechanism: str, config: MachineConfig,
+                *, fast: bool, timeline_interval: Optional[int] = None,
+                observe: bool = True) -> Tuple[SimulationResult,
+                                               Optional[Observer]]:
+    """One cell with the engine pinned via REPRO_FASTSIM (restored after).
+
+    The workload setup cache is cleared on both sides of the run: cached
+    machines were built for one engine's fast-path closures and must not
+    leak across the pin.
+    """
+    from repro.core.simulator import clear_setup_cache
+
+    previous = os.environ.get("REPRO_FASTSIM")
+    os.environ["REPRO_FASTSIM"] = "1" if fast else "0"
+    try:
+        clear_setup_cache()
+        observer = (Observer(timeline_interval=timeline_interval)
+                    if observe else None)
+        result = simulate(spec, mechanism, config, observer=observer)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FASTSIM", None)
+        else:
+            os.environ["REPRO_FASTSIM"] = previous
+        clear_setup_cache()
+    return result, observer
+
+
+def fast_telemetry_reconciles(spec: WorkloadSpec, config: MachineConfig,
+                              timeline_interval: int,
+                              mechanisms: Sequence[str] = FULL_MECHANISMS,
+                              verbose: bool = False) -> bool:
+    """Exact fast-vs-reference telemetry check across ``mechanisms``.
+
+    For each mechanism the same cell runs once through the reference
+    per-op loop and once through the batched engine, both with a
+    metrics+timeline Observer attached; the makespans and the *entire*
+    observer exports must match exactly, and the fast run must actually
+    have taken the fast path (``fastsim_fallback is None``).
+    """
+    ok = True
+    for mechanism in mechanisms:
+        ref, ref_obs = _engine_run(spec, mechanism, config, fast=False,
+                                   timeline_interval=timeline_interval)
+        fst, fst_obs = _engine_run(spec, mechanism, config, fast=True,
+                                   timeline_interval=timeline_interval)
+        cell_ok = (ref.makespan == fst.makespan
+                   and fst.fastsim_fallback is None
+                   and ref_obs.export() == fst_obs.export())
+        ok = ok and cell_ok
+        if verbose:
+            print(f"[obs-selftest] fast  {mechanism:4s}  "
+                  f"makespan={fst.makespan}  "
+                  f"engine_used={fst.fastsim_fallback is None}  "
+                  f"export_identical="
+                  f"{ref_obs.export() == fst_obs.export()}")
+    return ok
+
+
+# ----------------------------------------------------------------------
 # Self-test
 # ----------------------------------------------------------------------
 
@@ -433,8 +505,147 @@ def run_selftest(verbose: bool = True) -> bool:
         print(f"[obs-selftest] diff  lrp-vs-bb  "
               f"avoided={gap['persists']['avoided']}  "
               f"moved={gap['persists']['moved']}  diverges_at={at}")
+
+    # Fast-engine pin: the batched engine's flat-array telemetry must
+    # reproduce the reference Observer's export exactly — counter for
+    # counter, window for window — across the full mechanism matrix.
+    fast_ok = fast_telemetry_reconciles(spec, config, interval,
+                                        verbose=verbose)
+    ok = ok and fast_ok
+    if verbose:
         print(f"[obs-selftest] {'PASSED' if ok else 'FAILED'}")
     return ok
+
+
+# ----------------------------------------------------------------------
+# Fast-telemetry smoke benchmark
+# ----------------------------------------------------------------------
+
+def cmd_fastsmoke(args: argparse.Namespace) -> int:
+    """Gate the batched engine's telemetry overhead and correctness.
+
+    One paper-scale figure cell (hashmap/lrp by default) runs through
+    the batched engine plain and with a metrics+timeline Observer
+    attached, in ABBA rounds whose per-round ratios are summarized by
+    their median (see the inline comment on why min-of-N is the wrong
+    estimator on a shared box). Alongside the wall numbers the run
+    checks the invariants the overhead figure is meaningless without:
+    every makespan identical (telemetry must not perturb simulation),
+    the fast path actually taken, and the small-matrix exact
+    reconciliation against the reference Observer.
+    """
+    import time
+
+    from repro.bench.configs import SCALED_CONFIG, bench_config, \
+        figure_spec
+
+    spec = figure_spec(args.workload, num_threads=args.threads,
+                       scale=args.scale, seed=args.seed)
+    config = bench_config(SCALED_CONFIG)
+    interval = args.interval
+
+    print(f"[obsfast] {spec.structure}/{args.mechanism} "
+          f"--scale {args.scale}: {spec.num_threads} threads x "
+          f"{spec.ops_per_thread} ops, median of {args.rounds} "
+          f"ABBA rounds")
+    # Cold cells (setup + simulation, the same cell definition the
+    # profile/perf-smoke gates time). Ambient load on a shared box
+    # drifts on a minutes timescale — far more than the overhead being
+    # measured — so comparing a min-of-N plain against a min-of-N
+    # observed (whose minima may come from different load eras) is
+    # hopeless. Instead each round times plain/observed/observed/plain
+    # back to back (ABBA: linear drift within the round cancels) and
+    # yields one overhead ratio; the median over rounds is robust to
+    # the odd round that a background task stomped on.
+    from repro.core.simulator import clear_setup_cache
+
+    ratios: List[float] = []
+    best_plain = best_obs = float("inf")
+    makespans = set()
+    fast_path_used = True
+    previous = os.environ.get("REPRO_FASTSIM")
+    os.environ["REPRO_FASTSIM"] = "1"
+
+    def timed_cell(observe: bool) -> float:
+        nonlocal fast_path_used
+        clear_setup_cache()
+        t0 = time.perf_counter()
+        result = simulate(spec, args.mechanism, config,
+                          observer=Observer(timeline_interval=interval)
+                          if observe else None)
+        dt = time.perf_counter() - t0
+        makespans.add(result.makespan)
+        fast_path_used &= result.fastsim_fallback is None
+        return dt
+
+    try:
+        for _ in range(args.rounds):
+            a1 = timed_cell(False)
+            b1 = timed_cell(True)
+            b2 = timed_cell(True)
+            a2 = timed_cell(False)
+            ratios.append((b1 + b2) / (a1 + a2))
+            best_plain = min(best_plain, a1, a2)
+            best_obs = min(best_obs, b1, b2)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FASTSIM", None)
+        else:
+            os.environ["REPRO_FASTSIM"] = previous
+        clear_setup_cache()
+
+    ratios.sort()
+    mid = len(ratios) // 2
+    median_ratio = (ratios[mid] if len(ratios) % 2
+                    else (ratios[mid - 1] + ratios[mid]) / 2)
+    overhead_pct = 100.0 * (median_ratio - 1.0)
+    makespan_identical = len(makespans) == 1
+
+    small_spec = WorkloadSpec(structure="hashmap", num_threads=4,
+                              initial_size=64, ops_per_thread=12,
+                              seed=1)
+    reconciled = fast_telemetry_reconciles(
+        small_spec, MachineConfig(num_cores=4), interval)
+
+    snapshot = {
+        "suite.cell": f"{spec.structure}/{args.mechanism}",
+        "suite.scale": args.scale,
+        "suite.rounds": args.rounds,
+        "suite.timeline_interval": interval,
+        "makespan": makespans.pop() if makespan_identical else -1,
+        "seconds_plain": round(best_plain, 4),
+        "seconds_obs": round(best_obs, 4),
+        "telemetry_overhead_pct": round(overhead_pct, 2),
+        "makespan_identical": makespan_identical,
+        "reconciled": reconciled,
+        "fast_path_used": fast_path_used,
+    }
+    _ensure_parent(args.bench_out)
+    with open(args.bench_out, "w") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    print(f"[obsfast] plain {best_plain:.3f}s  observed {best_obs:.3f}s"
+          f"  overhead +{overhead_pct:.1f}% "
+          f"(limit {args.overhead_limit:.0f}%)")
+    print(f"[obsfast] makespan_identical={makespan_identical}  "
+          f"fast_path_used={fast_path_used}  reconciled={reconciled}")
+    print(f"[obsfast] wrote {args.bench_out}")
+    failures = []
+    if not makespan_identical:
+        failures.append("telemetry perturbed the makespan")
+    if not fast_path_used:
+        failures.append("batched engine fell back to the reference loop")
+    if not reconciled:
+        failures.append("fast-vs-reference telemetry mismatch")
+    if overhead_pct > args.overhead_limit:
+        failures.append(f"telemetry overhead {overhead_pct:.1f}% exceeds "
+                        f"{args.overhead_limit:.0f}%")
+    for failure in failures:
+        print(f"[obsfast] FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("[obsfast] PASSED")
+    return 1 if failures else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -531,6 +742,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="rows per delta table (default: %(default)s)")
     _add_workload_args(diff_parser)
 
+    fastsmoke_parser = subparsers.add_parser(
+        "fastsmoke",
+        help="gate the batched engine's telemetry overhead and "
+             "fast-vs-reference reconciliation; write BENCH_obsfast.json")
+    fastsmoke_parser.add_argument("--mechanism", default="lrp")
+    fastsmoke_parser.add_argument("--workload", default="hashmap")
+    fastsmoke_parser.add_argument("--threads", type=int, default=32)
+    fastsmoke_parser.add_argument(
+        "--scale", default="paper", choices=("quick", "full", "paper"),
+        help="figure-cell scale (default: %(default)s)")
+    fastsmoke_parser.add_argument("--seed", type=int, default=1)
+    fastsmoke_parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="ABBA rounds (plain/observed/observed/plain, one overhead "
+             "ratio each); the median ratio is the reported overhead "
+             "(default: %(default)s)")
+    fastsmoke_parser.add_argument(
+        "--interval", type=int, default=DEFAULT_TIMELINE_INTERVAL,
+        help="timeline window width in cycles (default: %(default)s)")
+    fastsmoke_parser.add_argument(
+        "--overhead-limit", type=float, default=15.0,
+        help="max telemetry overhead percent (default: %(default)s)")
+    fastsmoke_parser.add_argument(
+        "--bench-out", metavar="FILE", default="BENCH_obsfast.json",
+        help="snapshot destination (default: %(default)s)")
+
     audit_parser = subparsers.add_parser(
         "audit",
         help="re-verify persist order / consistent cuts against the "
@@ -573,6 +810,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_flame(args)
         if args.command == "diff":
             return cmd_diff(args)
+        if args.command == "fastsmoke":
+            return cmd_fastsmoke(args)
     except (ValueError, OSError) as exc:
         # Operator errors (unknown mechanism/workload, unwritable or
         # missing file, export without the requested data) get a

@@ -1,0 +1,294 @@
+"""Batched telemetry accumulator for the batch engine (fast path).
+
+The reference scheduler loop narrates every memory operation straight
+into the :class:`~repro.obs.Observer` — two dict upserts per op for
+the ``sched.*`` counters plus two timeline ticks, and a handful more
+per coherence miss. That per-op dispatch is exactly what the batch
+engine (:mod:`repro.core.fastsim`) exists to avoid, which is why it
+historically refused to run with any observer attached — going dark at
+the paper-scale runs where telemetry matters most.
+
+:class:`FastObs` closes that gap. It is a flat-table accumulator the
+fused closures write into with plain list index arithmetic — no
+per-op name hashing, no dict churn, no method dispatch (plain lists
+beat ``array('q')`` here: small-int list stores skip the box/unbox
+round-trip a typed array pays on every ``+= 1``):
+
+* per-core op/cycle tallies for the scheduler's ``sched.*`` counters
+  and the ``compute.c<i>`` / ``mem.c<i>`` timeline streams (kept as a
+  current-window register per core, flushed to a list only when the
+  window advances);
+* one flat list of slots for the coherence/fabric counters the
+  layered observed path emits per miss/upgrade (``dir.*``, ``noc.*``,
+  ``l1.fills``, ``coh.*``);
+* value->count tables for the two histograms on the miss path
+  (``l1.set_occupancy`` indexed by occupancy, ``dir.block_wait`` as a
+  sparse dict — block waits are rare);
+* sparse window dicts for the rare ``coh.downgrades`` /
+  ``coh.evictions`` timeline ticks.
+
+:meth:`FastObs.flush` folds everything into the attached Observer
+**additively** (counters add, histograms fold observation-for-
+observation, timeline windows add), so emissions other components made
+directly — mechanisms, the NoC/directory on the layered fallback path
+— are preserved, and the final ``Observer.export()`` is
+counter-for-counter, window-for-window identical to a reference-loop
+run. The obs-selftest and tests/test_fastobs.py pin that equality
+across the full mechanism matrix.
+
+Everything else the reference path observes (persist taxonomy, stall
+reasons, persist-queue depth gauges, RET occupancy, per-channel NVM
+line counts, ``bb.*``/``lrp.*`` engine counters) is emitted by the
+mechanisms and the NVM controller themselves, which stay attached to
+the Observer on the fast path — those streams need no batching here
+because they fire per *persist event*, not per op.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import Histogram
+
+# Slot indices into FastObs.coh — one per counter the fused
+# miss/upgrade closures bump. Order is mirrored by SLOT_NAMES.
+SLOT_DIR_MISSES = 0
+SLOT_DIR_UPGRADES = 1
+SLOT_DIR_BLOCK_WAIT_CYCLES = 2
+SLOT_NOC_MSGS = 3
+SLOT_NOC_HOPS = 4
+SLOT_L1_FILLS = 5
+SLOT_COH_DOWNGRADES = 6
+SLOT_COH_DOWNGRADES_DIRTY = 7
+SLOT_COH_EVICTIONS = 8
+SLOT_COH_EVICTIONS_DIRTY = 9
+SLOT_COH_INVALIDATIONS = 10
+#: Auxiliary tally (no counter of its own): upgrades that invalidated
+#: at least one sharer, needed to derive their extra inv/ack message.
+SLOT_AUX_UPGRADE_INV = 11
+NUM_SLOTS = 12
+
+#: Counter names for the first len(SLOT_NAMES) slots; slots past the
+#: end are auxiliary tallies folded into derived counters at flush.
+SLOT_NAMES = (
+    "dir.misses",
+    "dir.upgrades",
+    "dir.block_wait_cycles",
+    "noc.msgs",
+    "noc.hops",
+    "l1.fills",
+    "coh.downgrades",
+    "coh.downgrades_dirty",
+    "coh.evictions",
+    "coh.evictions_dirty",
+    "coh.invalidations",
+)
+
+
+def fold_histogram(hist: Histogram, pairs) -> None:
+    """Fold ``(value, count)`` pairs into ``hist``.
+
+    Exactly equivalent to calling ``hist.observe(value)`` ``count``
+    times — including min/max/total tracking and the ``clamped``
+    tally for negative values — so batched accumulation cannot be
+    told apart from streaming observation in the export.
+    """
+    for value, count in pairs:
+        if not count:
+            continue
+        hist.count += count
+        hist.total += value * count
+        if hist.min is None or value < hist.min:
+            hist.min = value
+        if hist.max is None or value > hist.max:
+            hist.max = value
+        if value < 0:
+            hist.clamped += count
+        bucket = max(0, int(value) - 1).bit_length() if value > 1 else 0
+        hist.buckets[bucket] = hist.buckets.get(bucket, 0) + count
+
+
+class FastObs:
+    """Flat-array telemetry tables for one batch-engine run."""
+
+    __slots__ = (
+        "observer", "interval", "num_cores",
+        "ops", "mem_ops", "compute_cycles", "mem_cycles",
+        "work_ops", "work_latency",
+        "seg_ops0", "seg_work0", "seg_latency0", "seg_clock0",
+        "coh", "occupancy", "block_wait",
+        "tl_compute_window", "tl_compute_acc", "tl_compute_nb",
+        "tl_mem_window", "tl_mem_acc",
+        "tl_compute_out", "tl_mem_out",
+        "tl_downgrades", "tl_evictions",
+        "flushed",
+    )
+
+    def __init__(self, observer, num_cores: int, assoc: int) -> None:
+        self.observer = observer
+        timeline = observer.timeline
+        # 0 disables window accumulation everywhere (`if interval:`).
+        self.interval = timeline.interval if timeline is not None else 0
+        self.num_cores = num_cores
+        # Scheduler accounting: cycle totals plus op counts. The op
+        # counts decide counter *existence* — the reference loop
+        # creates sched.compute_cycles.c<i> on the first op even when
+        # the compute charge is 0, and sched.mem_cycles.c<i> on the
+        # first memory op, so a zero-valued counter must still appear.
+        self.ops = [0] * num_cores
+        self.mem_ops = [0] * num_cores
+        self.compute_cycles = [0] * num_cores
+        self.mem_cycles = [0] * num_cores
+        # WORK-op tallies (count and summed latency) — WORK is the
+        # only op kind with a non-uniform compute charge, so these two
+        # plus the total op count fully determine a thread's cycle
+        # split: cc = work_latency + ops * compute_cycles_per_op and
+        # mc = clock_delta - cc. The engine fills compute_cycles /
+        # mem_cycles from exactly that identity at run end.
+        self.work_ops = [0] * num_cores
+        self.work_latency = [0] * num_cores
+        # Open-segment baselines for the timeline mode: a *segment* is
+        # a run of consecutive quanta of one thread that all fit in
+        # the compute register's current window. The engine closes a
+        # segment (attributing its cycle charges to that window in one
+        # step) only when a boundary-straddling quantum begins or the
+        # run ends; these snapshots of ops / work_ops / work_latency /
+        # thread clock mark where the open segment started.
+        self.seg_ops0 = [0] * num_cores
+        self.seg_work0 = [0] * num_cores
+        self.seg_latency0 = [0] * num_cores
+        self.seg_clock0 = [0] * num_cores
+        # Coherence-path counter slots (see SLOT_* above).
+        self.coh = [0] * NUM_SLOTS
+        # l1.set_occupancy values are post-fill set sizes in [1, assoc].
+        self.occupancy = [0] * (assoc + 1)
+        self.block_wait: Dict[int, int] = {}
+        # Timeline registers: windows are monotone per core (a thread's
+        # clock never decreases), so one (window, accumulator) register
+        # per stream suffices; it spills to the out list on advance.
+        self.tl_compute_window = [-1] * num_cores
+        self.tl_compute_acc = [0] * num_cores
+        # Next window boundary of the compute register, i.e.
+        # (tl_compute_window + 1) * interval (0 while no window yet):
+        # one compare against it classifies a whole quantum without
+        # any division.
+        self.tl_compute_nb = [0] * num_cores
+        self.tl_mem_window = [-1] * num_cores
+        self.tl_mem_acc = [0] * num_cores
+        self.tl_compute_out: List[List[Tuple[int, int]]] = [
+            [] for _ in range(num_cores)]
+        self.tl_mem_out: List[List[Tuple[int, int]]] = [
+            [] for _ in range(num_cores)]
+        self.tl_downgrades: Dict[int, int] = {}
+        self.tl_evictions: Dict[int, int] = {}
+        self.flushed = False
+
+    # ------------------------------------------------------------------
+    # Flush: fold the tables into the Observer, additively
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Merge all accumulated telemetry into the Observer.
+
+        Idempotence guard included so a defensive second call cannot
+        double-count; every merge is ``+=`` so emissions other
+        components wrote directly to the Observer are preserved.
+        """
+        if self.flushed:
+            return
+        self.flushed = True
+        metrics = self.observer.metrics
+        counters = metrics.counters
+        if self.interval:
+            # With a timeline attached the engine skips the cycle
+            # accumulators: every op's charge lands in exactly one
+            # window, so the counter totals ARE the window sums. Spill
+            # the live registers first, then recover the totals.
+            for core in range(self.num_cores):
+                if self.tl_compute_window[core] >= 0:
+                    self.tl_compute_out[core].append(
+                        (self.tl_compute_window[core],
+                         self.tl_compute_acc[core]))
+                    self.tl_compute_window[core] = -1
+                if self.tl_mem_window[core] >= 0:
+                    self.tl_mem_out[core].append(
+                        (self.tl_mem_window[core], self.tl_mem_acc[core]))
+                    self.tl_mem_window[core] = -1
+                self.compute_cycles[core] = sum(
+                    value for _, value in self.tl_compute_out[core])
+                self.mem_cycles[core] = sum(
+                    value for _, value in self.tl_mem_out[core])
+        for core in range(self.num_cores):
+            if self.ops[core]:
+                name = f"sched.compute_cycles.c{core}"
+                counters[name] = (counters.get(name, 0)
+                                  + self.compute_cycles[core])
+            if self.mem_ops[core]:
+                name = f"sched.mem_cycles.c{core}"
+                counters[name] = (counters.get(name, 0)
+                                  + self.mem_cycles[core])
+        coh = self.coh
+        # Fixed-ratio derivations (see Machine.make_fast_path): the
+        # observed layered path sends 2 messages for the doubled
+        # requester->home leg of a miss plus the forwarding legs (2) or
+        # the home->requester response (1), 2 for an upgrade plus 1 for
+        # its inv/ack when sharers were invalidated — and fills exactly
+        # one line per miss.
+        misses = coh[SLOT_DIR_MISSES]
+        coh[SLOT_L1_FILLS] += misses
+        coh[SLOT_NOC_MSGS] += (3 * misses + coh[SLOT_COH_DOWNGRADES]
+                               + 2 * coh[SLOT_DIR_UPGRADES]
+                               + coh[SLOT_AUX_UPGRADE_INV])
+        for slot, name in enumerate(SLOT_NAMES):
+            # Every coherence event contributes >= 1, so a zero slot
+            # means "never happened" — the reference path would not
+            # have created the counter either.
+            value = coh[slot]
+            if value:
+                counters[name] = counters.get(name, 0) + value
+        if any(self.occupancy):
+            hist = metrics.histograms.get("l1.set_occupancy")
+            if hist is None:
+                hist = metrics.histograms["l1.set_occupancy"] = Histogram()
+            fold_histogram(hist, enumerate(self.occupancy))
+        if self.block_wait:
+            hist = metrics.histograms.get("dir.block_wait")
+            if hist is None:
+                hist = metrics.histograms["dir.block_wait"] = Histogram()
+            fold_histogram(hist, sorted(self.block_wait.items()))
+
+        timeline = self.observer.timeline
+        if timeline is None:
+            return
+        series_map = timeline.series
+        for core in range(self.num_cores):
+            # Spill the live registers, then fold the out lists.
+            if self.tl_compute_window[core] >= 0:
+                self.tl_compute_out[core].append(
+                    (self.tl_compute_window[core],
+                     self.tl_compute_acc[core]))
+                self.tl_compute_window[core] = -1
+            if self.tl_mem_window[core] >= 0:
+                self.tl_mem_out[core].append(
+                    (self.tl_mem_window[core], self.tl_mem_acc[core]))
+                self.tl_mem_window[core] = -1
+            for name, out in ((f"compute.c{core}", self.tl_compute_out[core]),
+                              (f"mem.c{core}", self.tl_mem_out[core])):
+                if not out:
+                    continue
+                series = series_map.get(name)
+                if series is None:
+                    series = series_map[name] = {}
+                for window, value in out:
+                    series[window] = series.get(window, 0) + value
+                del out[:]
+        for name, windows in (("coh.downgrades", self.tl_downgrades),
+                              ("coh.evictions", self.tl_evictions)):
+            if not windows:
+                continue
+            series = series_map.get(name)
+            if series is None:
+                series = series_map[name] = {}
+            for window, value in windows.items():
+                series[window] = series.get(window, 0) + value
+            windows.clear()

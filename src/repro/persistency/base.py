@@ -24,7 +24,7 @@ from repro.common.params import MachineConfig
 from repro.common.stats import CoreStats
 from repro.consistency.events import MemoryEvent
 from repro.memory.nvm import NVMController, PersistRecord
-from repro.obs import Observer
+from repro.obs import Histogram, Observer
 
 Word = Optional[int]
 
@@ -61,6 +61,38 @@ class PersistencyMechanism:
         self._issued: List[List[Tuple[int, PersistRecord]]] = [
             [] for _ in range(config.num_cores)
         ]
+        # Pre-resolved observability endpoints for the per-persist /
+        # per-stall narration: name building, registry lookups and
+        # method dispatch per event are measurable at paper scale (the
+        # telemetry wall-gate in BENCH_obsfast.json), so the hot sites
+        # below write straight into the counter dict / histogram /
+        # window dicts. Histograms and series stay lazily created so
+        # the export carries exactly the entries the plain Observer
+        # API would have created.
+        if obs is not None:
+            self._pq_names = [f"pqdepth.c{i}"
+                              for i in range(config.num_cores)]
+            self._stall_tick_names = [f"stall.c{i}"
+                                      for i in range(config.num_cores)]
+            self._nvm_tick_names = [
+                f"nvm.lines.ch{ch}"
+                for ch in range(config.num_memory_controllers)]
+            self._stall_count_names: Dict[str, str] = {}
+            self._obs_counters = obs.metrics.counters
+            self._obs_histograms = obs.metrics.histograms
+            self._hist_latency: Optional[Histogram] = None
+            self._hist_inflight: Optional[Histogram] = None
+            timeline = obs.timeline
+            self._timeline = timeline
+            self._tl_interval = (timeline.interval
+                                 if timeline is not None else 0)
+            # Per-core / per-channel window dicts, bound on first use.
+            self._pq_series: List[Optional[Dict[int, int]]] = (
+                [None] * config.num_cores)
+            self._stall_series: List[Optional[Dict[int, int]]] = (
+                [None] * config.num_cores)
+            self._nvm_series: List[Optional[Dict[int, int]]] = (
+                [None] * config.num_memory_controllers)
 
     # ------------------------------------------------------------------
     # Hooks (override in subclasses). All times are absolute cycles.
@@ -153,14 +185,51 @@ class PersistencyMechanism:
         if obs is not None:
             duration = record.complete_time - record.issue_time
             channel = self.nvm.channel_for(line.addr)
-            obs.count("persist.lines")
-            obs.observe("persist.latency", duration)
-            obs.observe("persist.inflight", len(self._issued[core]))
-            obs.gauge(f"pqdepth.c{core}", record.issue_time,
-                      len(self._issued[core]))
-            obs.tick(f"nvm.lines.ch{channel}", record.issue_time)
-            obs.span(f"nvm-ch{channel}", f"persist c{core}",
-                     record.issue_time, duration, cat="persist")
+            depth = len(self._issued[core])
+            counters = self._obs_counters
+            counters["persist.lines"] = counters.get("persist.lines",
+                                                     0) + 1
+            hist = self._hist_latency
+            if hist is None:
+                hist = self._obs_histograms.get("persist.latency")
+                if hist is None:
+                    hist = self._obs_histograms["persist.latency"] = \
+                        Histogram()
+                self._hist_latency = hist
+            hist.observe(duration)
+            hist = self._hist_inflight
+            if hist is None:
+                hist = self._obs_histograms.get("persist.inflight")
+                if hist is None:
+                    hist = self._obs_histograms["persist.inflight"] = \
+                        Histogram()
+                self._hist_inflight = hist
+            hist.observe(depth)
+            timeline = self._timeline
+            if timeline is not None:
+                # Inlined gauge (pqdepth window max) + tick (per-
+                # channel line count); both keyed by issue time.
+                window = record.issue_time // self._tl_interval
+                series = self._pq_series[core]
+                if series is None:
+                    name = self._pq_names[core]
+                    series = timeline.gauges.get(name)
+                    if series is None:
+                        series = timeline.gauges[name] = {}
+                    self._pq_series[core] = series
+                if depth > series.get(window, -1):
+                    series[window] = depth
+                series = self._nvm_series[channel]
+                if series is None:
+                    name = self._nvm_tick_names[channel]
+                    series = timeline.series.get(name)
+                    if series is None:
+                        series = timeline.series[name] = {}
+                    self._nvm_series[channel] = series
+                series[window] = series.get(window, 0) + 1
+            if obs.trace is not None:
+                obs.span(f"nvm-ch{channel}", f"persist c{core}",
+                         record.issue_time, duration, cat="persist")
             if obs.provenance is not None:
                 obs.provenance.note_persist(core, record, trigger, edge)
         return record
@@ -246,15 +315,32 @@ class PersistencyMechanism:
             stats.persist_stall_cycles += stall
             stats.stall_reasons[reason] = (
                 stats.stall_reasons.get(reason, 0) + stall)
-            if self.obs is not None:
+            obs = self.obs
+            if obs is not None:
                 # Same value as the stats charge, so the obs stall
                 # counters reconcile with persist_stall_cycles exactly.
-                self.obs.count(f"stall.{reason}", stall)
-                self.obs.tick(f"stall.c{waiter}", now, stall)
-                self.obs.span(f"stall-c{waiter}", reason, now, stall,
-                              cat="stall")
-                if self.obs.provenance is not None:
-                    self.obs.provenance.note_stall(reason, stall)
+                name = self._stall_count_names.get(reason)
+                if name is None:
+                    name = self._stall_count_names[reason] = \
+                        f"stall.{reason}"
+                counters = self._obs_counters
+                counters[name] = counters.get(name, 0) + stall
+                timeline = self._timeline
+                if timeline is not None:
+                    window = now // self._tl_interval
+                    series = self._stall_series[waiter]
+                    if series is None:
+                        tick_name = self._stall_tick_names[waiter]
+                        series = timeline.series.get(tick_name)
+                        if series is None:
+                            series = timeline.series[tick_name] = {}
+                        self._stall_series[waiter] = series
+                    series[window] = series.get(window, 0) + stall
+                if obs.trace is not None:
+                    obs.span(f"stall-c{waiter}", reason, now, stall,
+                             cat="stall")
+                if obs.provenance is not None:
+                    obs.provenance.note_stall(reason, stall)
         return stall
 
     def _mark_critical(self, record: PersistRecord) -> None:

@@ -1,0 +1,264 @@
+"""Worker heartbeats and the live watch renderer.
+
+The heartbeat side channel must be harmless (atomic writes, throttled,
+never takes a job or the watcher down) and honest (stale files degrade
+to a STALE marker plus one warning — satellite requirement — instead
+of a crash or a silent stall). These tests pin both halves plus the
+``--watch`` loop and the runner integration end to end.
+"""
+
+import io
+import json
+import os
+import time
+
+from repro.common.params import MachineConfig
+from repro.exp import heartbeat
+from repro.exp.__main__ import run_watch
+from repro.exp.progress import WatchRenderer
+from repro.exp.runner import Job, execute_job
+from repro.workloads.harness import WorkloadSpec
+
+
+def _write(directory, label, state, age=0.0, **fields):
+    now = time.time() - age
+    payload = {"label": label, "state": state, "pid": 1,
+               "started_at": now - 1.0, "updated_at": now}
+    payload.update(fields)
+    path = os.path.join(directory, heartbeat.slug(label) + ".json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Writer: atomicity, throttling, failure isolation
+# ----------------------------------------------------------------------
+
+def test_writer_creates_atomic_json(tmp_path):
+    writer = heartbeat.HeartbeatWriter(str(tmp_path), "fig5/hashmap lrp")
+    assert writer.update("setup")
+    # The label was slugged into a safe stem and no temp file remains.
+    names = os.listdir(tmp_path)
+    assert names == ["fig5_hashmap_lrp.json"]
+    data = json.loads((tmp_path / names[0]).read_text())
+    assert data["state"] == "setup"
+    assert data["label"] == "fig5/hashmap lrp"
+    assert data["updated_at"] >= data["started_at"]
+
+
+def test_writer_throttles_intermediate_but_not_terminal(tmp_path):
+    writer = heartbeat.HeartbeatWriter(str(tmp_path), "job")
+    assert writer.update("running", execs=1)
+    # Immediately again: inside MIN_WRITE_GAP, dropped.
+    assert not writer.update("running", execs=2)
+    data = json.loads((tmp_path / "job.json").read_text())
+    assert data["execs"] == 1
+    # Terminal states always land, throttle or not.
+    assert writer.update("done", makespan=123)
+    data = json.loads((tmp_path / "job.json").read_text())
+    assert data["state"] == "done"
+    assert data["makespan"] == 123
+
+
+def test_writer_survives_unwritable_directory(tmp_path):
+    target = tmp_path / "gone"
+    target.mkdir()
+    writer = heartbeat.HeartbeatWriter(str(target), "job")
+    target.rmdir()
+    # Monitoring failure must not raise into the job.
+    assert writer.update("done") is False
+
+
+def test_job_writer_disabled_without_env(monkeypatch):
+    monkeypatch.delenv(heartbeat.ENV_DIR, raising=False)
+    assert heartbeat.job_writer("job") is None
+
+
+# ----------------------------------------------------------------------
+# Reader: corrupt files degrade, missing directory reads empty
+# ----------------------------------------------------------------------
+
+def test_read_heartbeats_missing_directory(tmp_path):
+    assert heartbeat.read_heartbeats(str(tmp_path / "nope")) == []
+
+
+def test_read_heartbeats_corrupt_file_degrades(tmp_path):
+    _write(str(tmp_path), "good", "done")
+    (tmp_path / "torn.json").write_text("{\"label\": \"torn")
+    (tmp_path / "list.json").write_text("[1, 2]")
+    (tmp_path / "ignored.txt").write_text("not a heartbeat")
+    entries = heartbeat.read_heartbeats(str(tmp_path))
+    assert [e["label"] for e in entries] == ["good", "list", "torn"]
+    states = {e["label"]: e["state"] for e in entries}
+    assert states["good"] == "done"
+    assert states["torn"] == "unreadable"
+    assert states["list"] == "unreadable"
+
+
+# ----------------------------------------------------------------------
+# Staleness and rendering (the --watch degradation contract)
+# ----------------------------------------------------------------------
+
+def test_is_stale_rules():
+    now = time.time()
+    fresh = {"state": "running", "updated_at": now - 1}
+    silent = {"state": "running", "updated_at": now - 100}
+    finished = {"state": "done", "updated_at": now - 100}
+    unreadable = {"state": "unreadable"}
+    missing_ts = {"state": "running"}
+    assert not heartbeat.is_stale(fresh, now)
+    assert heartbeat.is_stale(silent, now)
+    # Terminal and unreadable entries never count as stale ...
+    assert not heartbeat.is_stale(finished, now)
+    assert not heartbeat.is_stale(unreadable, now)
+    # ... but a running entry with no timestamp at all does.
+    assert heartbeat.is_stale(missing_ts, now)
+
+
+def test_render_watch_stale_marker_and_single_warning(tmp_path):
+    """Satellite pin: a stale heartbeat degrades to a STALE marker and
+    exactly one trailing warning line — never an exception."""
+    directory = str(tmp_path)
+    _write(directory, "alive", "running", age=1.0, execs=500)
+    _write(directory, "wedged", "running", age=120.0, execs=7)
+    _write(directory, "zombie", "running", age=300.0)
+    entries = heartbeat.read_heartbeats(directory)
+    lines, stale = heartbeat.render_watch(entries, now=time.time(),
+                                          directory=directory)
+    assert stale == 2
+    assert lines[0].startswith("[watch] 3 job(s)")
+    rendered = "\n".join(lines)
+    assert rendered.count("STALE") == 2
+    # The live job still shows progress; the stale ones hide theirs
+    # (execs=7 may be a lie from a dead worker).
+    assert "execs=500" in rendered
+    assert "execs=7" not in rendered
+    warnings = [line for line in lines if line.startswith("warning:")]
+    assert len(warnings) == 1
+    assert "2 heartbeat(s) stale" in warnings[0]
+
+
+def test_render_watch_no_heartbeats():
+    lines, stale = heartbeat.render_watch([], now=time.time())
+    assert stale == 0
+    assert any("no heartbeats yet" in line for line in lines)
+
+
+def test_render_watch_terminal_fields():
+    now = time.time()
+    entries = [
+        {"label": "cell-a", "state": "done", "updated_at": now - 2,
+         "execs": 1024, "makespan": 147951,
+         "telemetry": {"persist.lines": 9, "stall.cycles": 40}},
+        {"label": "cell-b", "state": "failed", "updated_at": now - 2,
+         "error": "ValueError('boom')"},
+    ]
+    lines, stale = heartbeat.render_watch(entries, now=now)
+    assert stale == 0
+    rendered = "\n".join(lines)
+    assert "makespan=147951" in rendered
+    assert "persist.lines=9" in rendered
+    assert "error=ValueError('boom')" in rendered
+
+
+def test_all_terminal():
+    assert not heartbeat.all_terminal([])
+    assert heartbeat.all_terminal([{"state": "done"},
+                                   {"state": "failed"},
+                                   {"state": "unreadable"}])
+    assert not heartbeat.all_terminal([{"state": "done"},
+                                       {"state": "running"}])
+
+
+# ----------------------------------------------------------------------
+# The --watch loop
+# ----------------------------------------------------------------------
+
+def test_run_watch_once_clean(tmp_path):
+    directory = str(tmp_path)
+    _write(directory, "cell", "done", makespan=42)
+    stream = io.StringIO()
+    code = run_watch(directory, ttl=15.0, refresh=0.01, once=True,
+                     renderer=WatchRenderer(stream))
+    assert code == 0
+    assert "makespan=42" in stream.getvalue()
+
+
+def test_run_watch_once_stale_exit_code(tmp_path):
+    directory = str(tmp_path)
+    _write(directory, "cell", "running", age=120.0)
+    stream = io.StringIO()
+    code = run_watch(directory, ttl=15.0, refresh=0.01, once=True,
+                     renderer=WatchRenderer(stream))
+    assert code == 1
+    assert "STALE" in stream.getvalue()
+
+
+def test_run_watch_stops_when_everything_is_dead(tmp_path):
+    """One stale worker + one finished job: the loop must notice that
+    nothing is alive any more and stop (exit 1) instead of spinning."""
+    directory = str(tmp_path)
+    _write(directory, "finished", "done")
+    _write(directory, "wedged", "running", age=120.0)
+    stream = io.StringIO()
+    code = run_watch(directory, ttl=15.0, refresh=0.01, once=False,
+                     renderer=WatchRenderer(stream))
+    assert code == 1
+    assert "warning:" in stream.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Runner integration: execute_job keeps a heartbeat, simulation
+# stays bit-identical with the side channel on
+# ----------------------------------------------------------------------
+
+def test_execute_job_writes_terminal_heartbeat(tmp_path, monkeypatch):
+    from repro.core.simulator import clear_setup_cache
+
+    directory = str(tmp_path / "hb")
+    monkeypatch.setenv(heartbeat.ENV_DIR, directory)
+    clear_setup_cache()
+    job = Job(spec=WorkloadSpec(structure="hashmap", num_threads=4,
+                                initial_size=64, ops_per_thread=12,
+                                seed=1),
+              mechanism="lrp", config=MachineConfig(num_cores=4),
+              collect_obs=True)
+    with_hb = execute_job(job)
+
+    entries = heartbeat.read_heartbeats(directory)
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["state"] == "done"
+    assert entry["makespan"] == with_hb.makespan
+    assert entry["execs"] >= 4 * 12  # executed ops include setup
+    assert entry["telemetry"]["persist.lines"] \
+        == with_hb.obs["metrics"]["counters"]["persist.lines"]
+
+    # Heartbeats are a pure side channel: same run without them is
+    # bit-identical.
+    monkeypatch.delenv(heartbeat.ENV_DIR)
+    clear_setup_cache()
+    without_hb = execute_job(job)
+    assert without_hb.makespan == with_hb.makespan
+    assert without_hb.obs == with_hb.obs
+    assert without_hb.persist_log_digest == with_hb.persist_log_digest
+    clear_setup_cache()
+
+
+def test_execute_job_failed_heartbeat(tmp_path, monkeypatch):
+    import pytest
+
+    directory = str(tmp_path / "hb")
+    monkeypatch.setenv(heartbeat.ENV_DIR, directory)
+    job = Job(spec=WorkloadSpec(structure="hashmap", num_threads=4,
+                                initial_size=64, ops_per_thread=12,
+                                seed=1),
+              mechanism="definitely-not-a-mechanism",
+              config=MachineConfig(num_cores=4))
+    with pytest.raises(Exception):
+        execute_job(job)
+    entries = heartbeat.read_heartbeats(directory)
+    assert len(entries) == 1
+    assert entries[0]["state"] == "failed"
+    assert "error" in entries[0]
