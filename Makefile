@@ -6,7 +6,8 @@ PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
 .PHONY: help test smoke selftest fuzz-smoke mc-smoke obsfast-smoke \
-        provenance figures trace bench-report profile perf-smoke clean
+        kv-smoke provenance figures trace bench-report profile \
+        perf-smoke clean
 
 help:
 	@echo "make test          - full tier-1 suite"
@@ -24,6 +25,11 @@ help:
 	@echo "                     median), makespan identity, exact fast-"
 	@echo "                     vs-reference reconciliation across all"
 	@echo "                     7 mechanisms -> BENCH_obsfast.json"
+	@echo "make kv-smoke      - KV-service SLO gate: spans-on vs spans-"
+	@echo "                     off ABBA overhead, bit-identical"
+	@echo "                     makespans, exact reservoir quantiles,"
+	@echo "                     engine reconciliation -> BENCH_kv.json,"
+	@echo "                     compared against the stored baseline"
 	@echo "make provenance    - persist-provenance flame + diff demo"
 	@echo "                     (capture/fold/diff into provenance-out/)"
 	@echo "make figures       - regenerate the paper figures (quick scale)"
@@ -81,6 +87,17 @@ mc-smoke:
 obsfast-smoke:
 	$(PY) -m repro.obs fastsmoke --bench-out BENCH_obsfast.json
 
+# Request-level service gate: the KV workload with span tracking on vs
+# off (ABBA rounds, median ratio), every makespan byte-identical, the
+# streaming SLO reservoirs reconciled exactly against the stored
+# records, and the batch engine's span lanes reconciled against the
+# reference loop. The snapshot is then compared against the committed
+# baseline (p50/p99/p999 and RTO gate as latency metrics, throughput
+# as quality; the makespans are exact anchors).
+kv-smoke:
+	$(PY) -m repro.obs kvsmoke --bench-out BENCH_kv.json
+	$(PY) -m repro.bench.history --snapshots BENCH_kv.json
+
 # Persist-provenance demo: capture BB and LRP runs of the hashmap,
 # fold the LRP stalls into a flamegraph, and diff the two captures
 # (the EXPERIMENTS.md "Persist provenance" walkthrough).
@@ -126,5 +143,6 @@ bench-report:
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks provenance-out heartbeats
-	rm -f BENCH_runner.json BENCH_obsfast.json BENCH_REPORT.md lrp-trace.json
+	rm -f BENCH_runner.json BENCH_obsfast.json BENCH_kv.json \
+		BENCH_REPORT.md lrp-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

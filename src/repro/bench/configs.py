@@ -111,6 +111,54 @@ _PAPER: Dict[str, WorkloadScale] = {
 SCALES = {"quick": _QUICK, "full": _FULL, "paper": _PAPER}
 
 
+# ----------------------------------------------------------------------
+# KV-service scenario (request-level SLO figure)
+# ----------------------------------------------------------------------
+
+#: Mechanisms the KV service figure compares, in plotting order.
+KV_FIGURE_MECHANISMS = ["sb", "bb", "lrp"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KVScale:
+    """Per-scale sizing of the KV-service scenario."""
+
+    num_threads: int
+    initial_size: int
+    requests_per_thread: int
+
+
+# The service story needs enough requests per client for tail
+# percentiles to mean something (p99 of 64 requests x 8 clients is the
+# ~5th-worst request); 'paper' pushes to YCSB-like client counts.
+_KV_SCALES: Dict[str, KVScale] = {
+    "quick": KVScale(num_threads=8, initial_size=512,
+                     requests_per_thread=64),
+    "full": KVScale(num_threads=16, initial_size=2048,
+                    requests_per_thread=192),
+    "paper": KVScale(num_threads=32, initial_size=8192,
+                     requests_per_thread=512),
+}
+
+
+def kv_figure_spec(*, structure: str = "hashmap", scale: str = "quick",
+                   seed: int = 42):
+    """The KVServiceSpec for the service-observability figure."""
+    from repro.workloads.kvservice import KVServiceSpec
+
+    try:
+        sizing = _KV_SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}") from None
+    return KVServiceSpec(
+        structure=structure,
+        num_threads=sizing.num_threads,
+        initial_size=sizing.initial_size,
+        requests_per_thread=sizing.requests_per_thread,
+        seed=seed,
+    )
+
+
 def figure_spec(workload: str, *, num_threads: int = 32,
                 scale: str = "quick", seed: int = 1) -> WorkloadSpec:
     """The WorkloadSpec for one workload at a benchmark scale."""

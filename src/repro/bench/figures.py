@@ -27,9 +27,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.configs import (
     FIGURE8_THREADS,
     FIGURE_MECHANISMS,
+    KV_FIGURE_MECHANISMS,
     SCALED_CONFIG,
     bench_config,
     figure_spec,
+    kv_figure_spec,
     uncached,
 )
 from repro.bench.report import render_series, render_table
@@ -391,6 +393,93 @@ def run_ret_ablation(workload: str = "hashmap", *,
 
 
 # ----------------------------------------------------------------------
+# KV service: request-level SLO comparison (ROADMAP service scenario)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class KVServiceResult:
+    """Per-mechanism request SLOs for the KV-service scenario.
+
+    Not a figure from the paper: this is the service-level restatement
+    of its argument. LRP should match or beat BB on *response* latency
+    (persists stay off the critical path) while paying for it in
+    durability lag — requests whose effects reach NVM long after the
+    client saw the reply, which the RTO columns price as lost work on
+    an un-synced crash.
+    """
+
+    mechanisms: List[str]
+    #: mechanism -> repro.obs.slo.service_report payload.
+    payloads: Dict[str, Dict[str, object]]
+    summaries: Dict[str, RunSummary]
+
+    def latency(self, mechanism: str, quantile: str = "p99") -> int:
+        return self.payloads[mechanism]["latency"][quantile]
+
+    def durable_latency(self, mechanism: str,
+                        quantile: str = "p99") -> int:
+        return self.payloads[mechanism]["durable_latency"][quantile]
+
+    def lost_requests_mean(self, mechanism: str) -> float:
+        recovery = self.payloads[mechanism].get("recovery", {})
+        return recovery.get("lost_requests", {}).get("mean", 0.0)
+
+    def render(self) -> str:
+        rows = []
+        for mech in self.mechanisms:
+            payload = self.payloads[mech]
+            recovery = payload.get("recovery", {})
+            rows.append([
+                mech.upper(),
+                payload["makespan"],
+                payload["throughput_rpkc"],
+                payload["latency"]["p50"],
+                payload["latency"]["p99"],
+                payload["latency"]["p999"],
+                payload["durable_latency"]["p99"],
+                payload["durable_latency"]["max_lag"],
+                recovery.get("rto", {}).get("mean_cycles", "-"),
+                recovery.get("lost_requests", {}).get("mean", "-"),
+            ])
+        return render_table(
+            "KV service: open-loop request SLOs per mechanism "
+            "(cycles; lost = completed-but-not-durable at a crash)",
+            ["mechanism", "makespan", "req/kcyc", "p50", "p99", "p999",
+             "durable p99", "max lag", "RTO mean", "lost mean"], rows)
+
+
+def run_figure_kv(*, scale: str = "quick", structure: str = "hashmap",
+                  mechanisms: Optional[Sequence[str]] = None,
+                  crash_points: int = 8, seed: int = 42,
+                  runner: Optional[ExperimentRunner] = None
+                  ) -> KVServiceResult:
+    """The KV-service SLO comparison (one job per mechanism).
+
+    Workers run with ``collect_spans`` so the SLO payload (latency and
+    durable-latency percentiles, crash RTO, lost requests) comes back
+    precomputed in ``RunSummary.obs["slo"]``; the crash campaign reuses
+    the recovery machinery at ``crash_points`` sampled log prefixes.
+    """
+    mechanisms = list(mechanisms or KV_FIGURE_MECHANISMS)
+    spec = kv_figure_spec(structure=structure, scale=scale, seed=seed)
+    config = bench_config(SCALED_CONFIG)
+    jobs = [
+        Job(spec=spec, mechanism=mech, config=config,
+            collect_spans=True, crash_points=crash_points,
+            crash_seed=seed)
+        for mech in mechanisms
+    ]
+    summaries = (runner or get_default_runner()).run(jobs, label="kv")
+    payloads: Dict[str, Dict[str, object]] = {}
+    results: Dict[str, RunSummary] = {}
+    for job, summary in zip(jobs, summaries):
+        results[job.mechanism] = summary
+        payloads[job.mechanism] = (summary.obs or {}).get("slo", {})
+    return KVServiceResult(mechanisms=mechanisms, payloads=payloads,
+                           summaries=results)
+
+
+# ----------------------------------------------------------------------
 # Recovery matrix (Figure 1 / Section 3 argument, as an experiment)
 # ----------------------------------------------------------------------
 
@@ -493,9 +582,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                              "first)")
     parser.add_argument("--figures", nargs="*", default=None,
                         choices=("fig5", "fig6", "fig7", "fig8", "size",
-                                 "ret", "recovery"),
+                                 "ret", "recovery", "kv"),
                         help="subset, e.g. fig5 fig6 fig7 fig8 size "
-                             "ret recovery")
+                             "ret recovery kv")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for the simulations "
                              "(default: all CPU cores; 1 = serial)")
@@ -522,7 +611,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     args = parser.parse_args(argv)
     wanted = set(args.figures or
                  ["fig5", "fig6", "fig7", "fig8", "size", "ret",
-                  "recovery"])
+                  "recovery", "kv"])
     obs = args.obs or bool(args.trace_out) or bool(args.provenance_out)
     trace = bool(args.trace_out)
     provenance = bool(args.provenance_out)
@@ -617,6 +706,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         print(timed("ret", run_ret_ablation).render(), "\n")
     if "recovery" in wanted:
         print(timed("recovery", run_recovery_matrix).render())
+    fig_kv = None
+    if "kv" in wanted:
+        fig_kv = timed("kv", lambda: run_figure_kv(scale=args.scale))
+        print(fig_kv.render())
 
     if trace and traced:
         from repro.obs.trace import dump_summary_traces
@@ -648,6 +741,17 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     for mech in ["nop"] + fig5.mechanisms
                 }
                 for workload in fig5.workloads
+            }
+        if fig_kv is not None:
+            # Same idea for the service scenario: percentiles gate as
+            # latency metrics, makespans as exact anchors.
+            snapshot["kv_slo"] = {
+                mech: {
+                    "makespan": fig_kv.payloads[mech]["makespan"],
+                    "p99": fig_kv.latency(mech),
+                    "durable_p99": fig_kv.durable_latency(mech),
+                }
+                for mech in fig_kv.mechanisms
             }
         with open(args.timings_out, "w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)

@@ -15,8 +15,12 @@ regression dashboard:
   - **timing** (``*_seconds``/``*.seconds``) — lower is better, noisy
     (wall-clock on shared CI), so gated with a generous relative
     threshold;
-  - **quality** (``speedup*``, ``*hit_rate``) — higher is better,
-    same noise allowance;
+  - **quality** (``speedup*``, ``*hit_rate``, ``*throughput*``) —
+    higher is better, same noise allowance;
+  - **latency** (``p50``/``p99``/``p999``/``rto``/``latency`` names
+    from the KV-service SLO layer) — lower is better with the timing
+    tolerance, but a distinct kind so SLO percentiles are never
+    cross-gated against wall-clock timing names;
   - **contract** (booleans like ``identical_results``) — must stay
     true; any flip to false is a regression regardless of thresholds;
   - **exact** (other numerics, e.g. deterministic makespans) — any
@@ -71,6 +75,14 @@ INFO_MARKERS = ("suite.", "spec.", "cpu_count", "workers", "jobs",
                 # for the gated seconds metrics, not gated themselves.
                 "overhead")
 
+#: Simulated-cycle service-level metrics from the KV-service SLO layer
+#: (BENCH_kv.json): request latency percentiles and recovery-time
+#: objectives. Lower is better and they gate with the same generous
+#: tolerance as timing metrics — but under their own kind, so a
+#: latency-percentile name can never be confused with (or cross-gated
+#: against) a wall-clock ``*_seconds`` timing name.
+LATENCY_MARKERS = ("p50", "p90", "p99", "p999", "rto", "latency")
+
 
 def flatten(data: object, prefix: str = "") -> Dict[str, Scalar]:
     """Flatten nested dicts/lists into dotted scalar metrics."""
@@ -93,7 +105,8 @@ def flatten(data: object, prefix: str = "") -> Dict[str, Scalar]:
 
 
 def classify(name: str, value: Scalar) -> str:
-    """Metric kind: ``timing``/``quality``/``contract``/``exact``/``info``."""
+    """Metric kind: ``timing``/``quality``/``latency``/``contract``/
+    ``exact``/``info``."""
     lowered = name.lower()
     if any(marker in lowered for marker in INFO_MARKERS):
         return "info"
@@ -101,8 +114,15 @@ def classify(name: str, value: Scalar) -> str:
         return "contract"
     if isinstance(value, str):
         return "info"
+    # Wall-clock names win first, so a hypothetical
+    # ``latency_probe_seconds`` still gates as timing — SLO names never
+    # capture a timing metric and vice versa.
     if "seconds" in lowered:
         return "timing"
+    if "throughput" in lowered:
+        return "quality"
+    if any(marker in lowered for marker in LATENCY_MARKERS):
+        return "latency"
     if "speedup" in lowered or "hit_rate" in lowered:
         return "quality"
     return "exact"

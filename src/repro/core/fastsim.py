@@ -25,10 +25,12 @@ doing neither, by exploiting two structural facts:
   ``Machine`` methods the reference path uses.
 
 The engine accepts exactly one observation channel: an Observer
-carrying metrics (and optionally a timeline) — those aggregates are
-accumulated in the flat tables of :class:`repro.obs.fastobs.FastObs`
-and flushed at run end, reconciling counter-for-counter with the
-reference loop. Everything else still forces the reference path:
+carrying metrics (and optionally a timeline and/or request spans) —
+metric aggregates are accumulated in the flat tables of
+:class:`repro.obs.fastobs.FastObs` and flushed at run end, reconciling
+counter-for-counter with the reference loop, while request-boundary
+clocks append straight into the :class:`repro.obs.spans.SpanTracker`
+lanes. Everything else still forces the reference path:
 schedule nudges, op tracing, provenance, and the tests' ``max_ops``
 valve. :func:`check` names the refusal (a :class:`Refusal` enum,
 surfaced as the ``fastsim_fallback`` diagnostic on results and
@@ -57,6 +59,7 @@ from repro.coherence.l1cache import (
 from repro.consistency.events import MemOrder
 from repro.core.thread import OpKind
 from repro.obs.fastobs import FastObs
+from repro.obs.spans import REQUEST_BOUNDARY as _SPAN_BOUNDARY
 from repro.persistency.base import PersistencyMechanism
 from repro.persistency.lrp import LRPMechanism
 
@@ -101,8 +104,9 @@ class Refusal(enum.Enum):
 def check(scheduler) -> Optional[Refusal]:
     """Why the batch engine must refuse this run — None when eligible.
 
-    Metrics/timeline observers are accepted (FastObs batches their
-    aggregates); trace or provenance collection — and observer objects
+    Metrics/timeline/spans observers are accepted (FastObs batches
+    the aggregates, span lanes are plain appends); trace or provenance
+    collection — and observer objects
     that don't expose the Observer surface at all — still force the
     reference loop, as do schedule nudges and the ``max_ops`` valve.
     With ``REPRO_FASTSIM_DEBUG=1`` the refusal is printed to stderr.
@@ -221,6 +225,14 @@ def _run(scheduler) -> int:
     # and the NVM controller keep their direct Observer attachment.
     obs = machine.obs
     if obs is not None:
+        # Request spans (repro.obs.spans): raw per-thread boundary and
+        # event-mark lists written directly — one identity compare and
+        # two appends per boundary op, nothing else on the hot path.
+        spans = getattr(obs, "spans", None)
+        if spans is not None:
+            sp_lanes, sp_events = spans.lanes(len(threads))
+        else:
+            sp_lanes = sp_events = None
         fobs = FastObs(obs, config.num_cores, l1s[0]._assoc)
         fo_interval = fobs.interval
         fo_ops = fobs.ops
@@ -242,6 +254,7 @@ def _run(scheduler) -> int:
         tl_mo = fobs.tl_mem_out
     else:
         fobs = None
+        sp_lanes = sp_events = None
     # True only inside a boundary-straddling quantum with a timeline
     # attached; every quantum's telemetry setup re-derives it.
     fo_heavy = False
@@ -453,6 +466,13 @@ def _run(scheduler) -> int:
                     # segment close / run end.
                     fo_nw[tid] += 1
                     fo_wl[tid] += latency
+                    if sp_lanes is not None and op.site is _SPAN_BOUNDARY:
+                        # ev_count here equals the reference loop's
+                        # trace._count at the same decision: the batch
+                        # engine executes ops in the identical global
+                        # order, so event ids are assigned identically.
+                        sp_lanes[tid].append(clock)
+                        sp_events[tid].append(ev_count)
             else:
                 addr = op.addr
                 line_addr = addr & line_mask

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Generator, Iterable, List, Mapping, \
 from repro.core import fastsim
 from repro.core.machine import Machine
 from repro.core.thread import Op, OpKind
+from repro.obs.spans import REQUEST_BOUNDARY as _BOUNDARY
 
 _WORK = OpKind.WORK
 
@@ -111,6 +112,8 @@ class Scheduler:
         execute = self.machine.execute
         stats = self.machine.stats
         obs = self.machine.obs
+        trace = self.machine.trace
+        sp = self._span_lanes(obs)
         heappop, heappush = heapq.heappop, heapq.heappush
         heap = [(t.clock, t.thread_id) for t in self.threads]
         heapq.heapify(heap)
@@ -138,6 +141,9 @@ class Scheduler:
                               latency + compute)
                     obs.tick(f"compute.c{tid}", thread.clock,
                              latency + compute)
+                    if sp is not None and op.site is _BOUNDARY:
+                        sp[0][tid].append(thread.clock)
+                        sp[1][tid].append(trace._count)
                 else:
                     obs.count(f"sched.compute_cycles.c{tid}", compute)
                     obs.count(f"sched.mem_cycles.c{tid}", latency)
@@ -149,6 +155,21 @@ class Scheduler:
             self._executed_ops += 1
             heappush(heap, (thread.clock, tid))
         return self.makespan()
+
+    def _span_lanes(self, obs):
+        """The ``(boundary, event-mark)`` span lanes, or None when off.
+
+        Request boundaries are recorded against the op's *pre-advance*
+        clock — the request's completion cycle — plus the global
+        memory-event count at that moment (the request's event
+        frontier), matching the batch engine's recording exactly
+        (tests/test_kvservice.py pins the reference-vs-fastsim span
+        equality).
+        """
+        spans = getattr(obs, "spans", None) if obs is not None else None
+        if spans is None:
+            return None
+        return spans.lanes(len(self.threads))
 
     def _run_nudged(self) -> int:
         """Min-scan execution loop honouring the installed nudges.
@@ -164,6 +185,8 @@ class Scheduler:
         execute = self.machine.execute
         stats = self.machine.stats
         obs = self.machine.obs
+        trace = self.machine.trace
+        sp = self._span_lanes(obs)
         runnable = list(self.threads)
         while runnable:
             runnable.sort(key=lambda t: (t.clock, t.thread_id))
@@ -187,6 +210,9 @@ class Scheduler:
                               latency + compute)
                     obs.tick(f"compute.c{tid}", thread.clock,
                              latency + compute)
+                    if sp is not None and op.site is _BOUNDARY:
+                        sp[0][tid].append(thread.clock)
+                        sp[1][tid].append(trace._count)
                 else:
                     obs.count(f"sched.compute_cycles.c{tid}", compute)
                     obs.count(f"sched.mem_cycles.c{tid}", latency)

@@ -20,6 +20,7 @@ from repro.core.machine import Machine
 from repro.core.scheduler import Scheduler
 from repro.obs import Observer
 from repro.lfds import LogFreeStructure
+from repro.workloads import kvservice
 from repro.workloads.harness import (
     Outcome,
     WorkloadSpec,
@@ -161,8 +162,17 @@ def simulate(spec: WorkloadSpec,
     # wrapper generators entirely otherwise so the hot path is
     # untouched when provenance is off.
     tag_sites = observer is not None and observer.provenance is not None
-    workers = build_workers(spec, structure, outcomes, machine.stats,
-                            tag_sites=tag_sites)
+    # The KV-service spec shares the whole setup pipeline (structure,
+    # pre-population, prototype cache) with WorkloadSpec — only the
+    # worker builder differs (client request generators instead of the
+    # fixed-op harness loop).
+    if isinstance(spec, kvservice.KVServiceSpec):
+        workers = kvservice.build_workers(spec, structure, outcomes,
+                                          machine.stats,
+                                          tag_sites=tag_sites)
+    else:
+        workers = build_workers(spec, structure, outcomes, machine.stats,
+                                tag_sites=tag_sites)
     scheduler = Scheduler(machine, workers)
     if schedule_nudges is not None:
         scheduler.set_nudges(schedule_nudges)

@@ -181,10 +181,22 @@ def run_watch(directory: str, ttl: float, refresh: float,
     Returns 0 on a clean finish, 1 when the final view contains stale
     (presumed dead) workers. ``once`` renders a single frame — the
     scriptable / testable mode.
+
+    A directory with no heartbeats at all (missing, or never populated
+    because the sweep was started without ``REPRO_HEARTBEAT_DIR``) is
+    diagnosed immediately with exit 1 instead of rendering an empty
+    block forever.
     """
     renderer = renderer or WatchRenderer()
+    first_read = True
     while True:
         entries = heartbeat.read_heartbeats(directory)
+        if first_read and not entries:
+            print(f"watch: no heartbeats in {directory!r} — start the "
+                  f"sweep with {heartbeat.ENV_DIR}={directory} first",
+                  file=sys.stderr)
+            return 1
+        first_read = False
         lines, stale = heartbeat.render_watch(
             entries, now=time.time(), ttl=ttl, directory=directory)
         renderer.render_block(lines)

@@ -64,6 +64,12 @@ class Job:
     # persist/stall, shipped back in ``RunSummary.obs["provenance"]``
     # (implies obs collection; bit-identical like the rest).
     collect_provenance: bool = False
+    # Request spans (repro.obs.spans): record per-request boundary
+    # clocks; for KVServiceSpec jobs the worker additionally computes
+    # the SLO payload (repro.obs.slo.service_report) into
+    # ``RunSummary.obs["slo"]``, reusing ``crash_points``/``crash_seed``
+    # for its RTO metering. Bit-identical and batch-engine-compatible.
+    collect_spans: bool = False
     # Schedule perturbation (repro.fuzz): ((decision_index, rank), ...)
     # priority nudges installed on the scheduler before the run. None
     # keeps the scheduler's optimized heap path.
@@ -162,24 +168,29 @@ def _telemetry_snapshot(observer) -> Optional[Dict[str, int]]:
     if observer is None:
         return None
     counters = observer.metrics.counters
-    return {
+    snapshot = {
         "persist.lines": counters.get("persist.lines", 0),
         "stall.cycles": sum(value for name, value in counters.items()
                             if name.startswith("stall.")),
     }
+    if observer.spans is not None:
+        snapshot["kv.requests"] = observer.spans.request_count()
+    return snapshot
 
 
 def execute_job(job: Job) -> RunSummary:
     """Run one job to completion (the worker-process entry point)."""
     observer = None
     if (job.collect_obs or job.collect_trace or job.timeline_interval
-            or job.collect_provenance or job.fuzz is not None):
+            or job.collect_provenance or job.collect_spans
+            or job.fuzz is not None):
         from repro.obs import Observer
 
         observer = Observer(trace=job.collect_trace,
                             timeline_interval=job.timeline_interval,
                             provenance=(job.collect_provenance
-                                        or job.fuzz is not None))
+                                        or job.fuzz is not None),
+                            spans=job.collect_spans)
     nudges = (dict(job.schedule_nudges)
               if job.schedule_nudges is not None else None)
     heartbeat_writer = heartbeat.job_writer(job.label())
@@ -213,6 +224,15 @@ def execute_job(job: Job) -> RunSummary:
         # anything that consumes RunSummary.obs (cache, history,
         # merged sweeps) sees it without knowing about the fuzzer.
         summary.obs["coverage"] = summary.fuzz["coverage"]
+    if job.collect_spans and observer is not None and observer.spans:
+        from repro.obs import slo
+        from repro.workloads.kvservice import KVServiceSpec
+
+        if isinstance(job.spec, KVServiceSpec):
+            summary.obs["slo"] = slo.service_report(
+                result, observer.spans,
+                num_crash_points=job.crash_points,
+                crash_seed=job.crash_seed)
     if job.crash_points is not None:
         from repro.core.recovery import crash_test
 

@@ -37,6 +37,7 @@ from typing import Dict, Optional
 from repro.obs.coverage import CoverageMap, coverage_from_obs
 from repro.obs.metrics import Histogram, MetricsRegistry, merged_registries
 from repro.obs.provenance import ProvenanceTracker
+from repro.obs.spans import REQUEST_BOUNDARY, SpanTracker
 from repro.obs.timeline import (
     TimelineSampler,
     chrome_counter_events,
@@ -51,6 +52,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ProvenanceTracker",
+    "REQUEST_BOUNDARY",
+    "SpanTracker",
     "TimelineSampler",
     "TraceCollector",
     "merged_registries",
@@ -70,11 +73,12 @@ class Observer:
     ``tests/test_obs.py``).
     """
 
-    __slots__ = ("metrics", "trace", "timeline", "provenance")
+    __slots__ = ("metrics", "trace", "timeline", "provenance", "spans")
 
     def __init__(self, *, trace: bool = False,
                  timeline_interval: Optional[int] = None,
-                 provenance: bool = False) -> None:
+                 provenance: bool = False,
+                 spans: bool = False) -> None:
         self.metrics = MetricsRegistry()
         self.trace: Optional[TraceCollector] = (
             TraceCollector() if trace else None)
@@ -83,6 +87,11 @@ class Observer:
             if timeline_interval is not None else None)
         self.provenance: Optional[ProvenanceTracker] = (
             ProvenanceTracker() if provenance else None)
+        # Request spans (repro.obs.spans): boundary clocks of service
+        # workload requests. Flat per-thread lists, so the batch
+        # engine records them without leaving its fast path.
+        self.spans: Optional[SpanTracker] = (
+            SpanTracker() if spans else None)
 
     # -- metrics -------------------------------------------------------
 
@@ -126,6 +135,8 @@ class Observer:
             data["timeline"] = self.timeline.to_dict()
         if self.provenance is not None:
             data["provenance"] = self.provenance.to_dict()
+        if self.spans is not None:
+            data["spans"] = self.spans.to_dict()
         if self.trace is not None:
             events = self.trace.chrome_events()
             if self.timeline is not None:

@@ -28,6 +28,17 @@ Subcommands:
   identity, exact fast-vs-reference reconciliation across the full
   mechanism matrix, overhead bounded by ``--overhead-limit``; writes
   ``BENCH_obsfast.json``;
+* ``slo`` — run the KV-service workload with request-span tracking and
+  print the service report: throughput, exact p50/p99/p999 request and
+  durable latency, windowed sparklines, optional crash-RTO table
+  (``--crash-points``), per-request CSV (``--csv``), request spans as
+  a Chrome trace (``--trace-out``) and the JSON payload
+  (``--json-out``);
+* ``kvsmoke`` — gate the span-tracking overhead on the KV service:
+  ABBA rounds plain vs spans-on (makespans must be identical and the
+  batch engine engaged), streaming-vs-exact percentile reconciliation,
+  reference-vs-fast span lane equality, SLO payloads for lrp/bb/sb;
+  writes ``BENCH_kv.json``;
 * ``--selftest`` — end-to-end check on a tiny workload: obs hooks
   disabled vs. enabled yield bit-identical runs, the trace export
   round-trips through ``json`` with monotone per-track timestamps, the
@@ -59,14 +70,21 @@ from repro.obs import (
 )
 from repro.obs import diff as diff_mod
 from repro.obs import flame
+from repro.obs import slo
 from repro.obs.report import (
     attribute_run,
     render_attribution,
 )
-from repro.obs.timeline import render_timeline, write_timeline_csv
+from repro.obs.timeline import render_timeline, sparkline, \
+    write_timeline_csv
 from repro.workloads.harness import WorkloadSpec
+from repro.workloads.kvservice import KVServiceSpec
 
 SELFTEST_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+#: The service-comparison row of the KV story: lazy release persistency
+#: against the eager blocking baselines.
+KV_MECHANISMS = ("lrp", "bb", "sb")
 
 #: Every mechanism the batched-engine telemetry must reconcile against
 #: the reference Observer, counter for counter and window for window.
@@ -512,6 +530,50 @@ def run_selftest(verbose: bool = True) -> bool:
     fast_ok = fast_telemetry_reconciles(spec, config, interval,
                                         verbose=verbose)
     ok = ok and fast_ok
+
+    # KV-service span pins, across the full mechanism matrix:
+    # (a) the streaming reservoir's p50/p99/p999 equal the exact
+    #     nearest-rank quantiles of the stored per-request records
+    #     (both request latency and durable latency);
+    # (b) makespans are bit-identical with span tracking on vs off;
+    # (c) the spans-enabled run keeps the batch engine engaged (no
+    #     silent fallback to the reference loop).
+    kv_spec = KVServiceSpec(structure="hashmap", num_threads=4,
+                            initial_size=64, requests_per_thread=12,
+                            seed=1)
+    kv_ok = True
+    for mechanism in FULL_MECHANISMS:
+        plain = simulate(kv_spec, mechanism, config)
+        observer = Observer(spans=True)
+        observed = simulate(kv_spec, mechanism, config,
+                            observer=observer)
+        identical = plain.makespan == observed.makespan
+        engaged = observed.fastsim_fallback is None
+        counted = (observer.spans.request_count()
+                   == kv_spec.total_requests)
+        records = slo.build_records(
+            kv_spec, observed.config, observer.spans,
+            persist_log=observed.nvm.persist_log())
+        exact = True
+        for values in ([r.latency for r in records],
+                       [r.durable_latency for r in records]):
+            reservoir = slo.LatencyReservoir()
+            for value in values:
+                reservoir.observe(value)
+            exact = exact and all(
+                reservoir.quantile(q) == slo.exact_quantile(values, q)
+                for _name, q in slo.SLO_QUANTILES)
+        cell_ok = identical and engaged and counted and exact
+        kv_ok = kv_ok and cell_ok
+        if verbose:
+            print(f"[obs-selftest] kv    {mechanism:4s}  "
+                  f"identical={identical}  engine_used={engaged}  "
+                  f"requests={observer.spans.request_count()}  "
+                  f"quantiles_exact={exact}")
+    # ... and the two engines must agree on the span lanes themselves.
+    kv_ok = kv_ok and kv_engines_agree(kv_spec, config, verbose=verbose)
+    ok = ok and kv_ok
+
     if verbose:
         print(f"[obs-selftest] {'PASSED' if ok else 'FAILED'}")
     return ok
@@ -648,6 +710,312 @@ def cmd_fastsmoke(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# KV-service SLO reporting and smoke gate
+# ----------------------------------------------------------------------
+
+def _kv_spec_from_args(args: argparse.Namespace) -> KVServiceSpec:
+    return KVServiceSpec(structure=args.workload,
+                         num_threads=args.threads,
+                         initial_size=args.size,
+                         requests_per_thread=args.requests,
+                         read_ratio=args.read_ratio,
+                         zipf_theta=args.zipf_theta,
+                         seed=args.seed)
+
+
+def _kv_run(spec: KVServiceSpec, mechanism: str, config: MachineConfig,
+            crash_points: Optional[int] = None, crash_seed: int = 0):
+    """One span-tracked KV run -> (result, records, SLO payload)."""
+    observer = Observer(spans=True)
+    result = simulate(spec, mechanism, config, observer=observer)
+    records = slo.build_records(spec, result.config, observer.spans,
+                                persist_log=result.nvm.persist_log())
+    payload = slo.slo_summary(records, result.makespan)
+    if crash_points is not None:
+        result._slo_records = records
+        try:
+            payload["recovery"] = slo.rto_summary(result, crash_points,
+                                                  crash_seed)
+        finally:
+            del result._slo_records
+    return result, records, payload
+
+
+def _render_kv_rows(payloads: dict) -> List[str]:
+    """The per-mechanism service-comparison table."""
+    lines = [f"{'mech':5s} {'makespan':>9s} {'req/kcyc':>9s} "
+             f"{'p50':>7s} {'p99':>7s} {'p999':>7s} "
+             f"{'d.p99':>7s} {'d.lag':>7s} {'rto':>8s} {'lost':>6s}"]
+    for mechanism, payload in payloads.items():
+        latency = payload["latency"]
+        durable = payload["durable_latency"]
+        recovery = payload.get("recovery")
+        rto = (f"{recovery['rto']['mean_cycles']:8.0f}"
+               if recovery else f"{'-':>8s}")
+        lost = (f"{recovery['lost_requests']['mean']:6.1f}"
+                if recovery and "lost_requests" in recovery
+                else f"{'-':>6s}")
+        lines.append(
+            f"{mechanism:5s} {payload['makespan']:9d} "
+            f"{payload['throughput_rpkc']:9.2f} "
+            f"{latency['p50']:7d} {latency['p99']:7d} "
+            f"{latency['p999']:7d} {durable['p99']:7d} "
+            f"{durable['max_lag']:7d} {rto} {lost}")
+    return lines
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    spec = _kv_spec_from_args(args)
+    config = _config_from_args(args)
+    single = len(args.mechanisms) == 1
+    if args.csv and not single:
+        raise ValueError("--csv writes per-request rows for one run; "
+                         "pass exactly one --mechanisms entry")
+    if args.trace_out and not single:
+        raise ValueError("--trace-out exports one run's request spans; "
+                         "pass exactly one --mechanisms entry")
+
+    payloads: dict = {}
+    all_records: dict = {}
+    crash_points = args.crash_points if args.crash_points else None
+    for mechanism in args.mechanisms:
+        _result, records, payload = _kv_run(
+            spec, mechanism, config,
+            crash_points=crash_points, crash_seed=args.seed)
+        payloads[mechanism] = payload
+        all_records[mechanism] = records
+
+    print(f"KV service SLO: {spec.structure}, {spec.num_threads} "
+          f"clients x {spec.requests_per_thread} requests, "
+          f"read {spec.read_ratio:.2f}, zipf {spec.zipf_theta:.2f}, "
+          f"{config.nvm_mode.value} NVM "
+          f"(latencies in cycles, open-loop reconstruction)")
+    for line in _render_kv_rows(payloads):
+        print(line)
+    for mechanism, records in all_records.items():
+        completions = slo.completion_series(records, args.interval)
+        p99s = [int(value)
+                for value in slo.latency_p99_series(records,
+                                                    args.interval)]
+        print(f" {mechanism:5s} completions/{args.interval}cyc  "
+              f"{sparkline(completions, width=args.width)}")
+        print(f" {mechanism:5s} p99 latency/{args.interval}cyc  "
+              f"{sparkline(p99s, width=args.width)}")
+
+    if args.csv:
+        _ensure_parent(args.csv)
+        with open(args.csv, "w", newline="") as handle:
+            rows = slo.write_slo_csv(all_records[args.mechanisms[0]],
+                                     handle)
+        print(f"wrote {rows} request rows to {args.csv}")
+    if args.trace_out:
+        events = slo.chrome_request_events(
+            all_records[args.mechanisms[0]])
+        _ensure_parent(args.trace_out)
+        write_chrome_trace(events, args.trace_out)
+        print(f"wrote {len(events)} request-span events to "
+              f"{args.trace_out} (load in chrome://tracing or "
+              f"https://ui.perfetto.dev)")
+    if args.json_out:
+        _ensure_parent(args.json_out)
+        with open(args.json_out, "w") as handle:
+            json.dump({"spec": {
+                "structure": spec.structure,
+                "num_threads": spec.num_threads,
+                "requests_per_thread": spec.requests_per_thread,
+                "read_ratio": spec.read_ratio,
+                "zipf_theta": spec.zipf_theta,
+                "seed": spec.seed,
+            }, "mechanisms": payloads}, handle, indent=1,
+                sort_keys=True)
+            handle.write("\n")
+        print(f"wrote SLO payloads to {args.json_out}")
+    return 0
+
+
+def kv_engines_agree(spec: KVServiceSpec, config: MachineConfig,
+                     mechanisms: Sequence[str] = KV_MECHANISMS,
+                     verbose: bool = False) -> bool:
+    """Reference-vs-fast span equality across ``mechanisms``.
+
+    Both engines must produce identical makespans AND identical span
+    lanes (boundary clocks and event marks), with the fast run actually
+    on the fast path — the span hook must not silently push runs back
+    to the reference loop.
+    """
+    from repro.core.simulator import clear_setup_cache
+
+    ok = True
+    previous = os.environ.get("REPRO_FASTSIM")
+    try:
+        for mechanism in mechanisms:
+            os.environ["REPRO_FASTSIM"] = "0"
+            clear_setup_cache()
+            ref_obs = Observer(spans=True)
+            ref = simulate(spec, mechanism, config, observer=ref_obs)
+            os.environ["REPRO_FASTSIM"] = "1"
+            clear_setup_cache()
+            fst_obs = Observer(spans=True)
+            fst = simulate(spec, mechanism, config, observer=fst_obs)
+            cell_ok = (ref.makespan == fst.makespan
+                       and fst.fastsim_fallback is None
+                       and ref_obs.spans.to_dict() == fst_obs.spans.to_dict())
+            ok = ok and cell_ok
+            if verbose:
+                print(f"[obs-selftest] kv-eng {mechanism:4s}  "
+                      f"makespan={fst.makespan}  "
+                      f"engine_used={fst.fastsim_fallback is None}  "
+                      f"spans_identical="
+                      f"{ref_obs.spans.to_dict() == fst_obs.spans.to_dict()}")
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FASTSIM", None)
+        else:
+            os.environ["REPRO_FASTSIM"] = previous
+        clear_setup_cache()
+    return ok
+
+
+def cmd_kvsmoke(args: argparse.Namespace) -> int:
+    """Gate the KV-service span tracking: overhead, identity, exactness.
+
+    The same ABBA discipline as ``fastsmoke`` (see the comment there on
+    why back-to-back rounds beat min-of-N on a shared box), but the
+    observed side attaches a spans-only Observer — the per-request hook
+    this PR adds to both execution loops. Alongside the overhead
+    number, the gates the figure is meaningless without: every makespan
+    identical (span tracking must not perturb the simulation), the
+    batch engine actually engaged, streaming percentiles exactly equal
+    to the stored-record percentiles, and reference-vs-fast span lanes
+    identical. The snapshot also carries the lrp/bb/sb SLO payloads so
+    the history dashboard gates service latency/throughput/RTO drift.
+    """
+    import time
+
+    from repro.core.simulator import clear_setup_cache
+
+    spec = _kv_spec_from_args(args)
+    config = _config_from_args(args)
+
+    print(f"[kvsmoke] {spec.structure}/kv: {spec.num_threads} clients "
+          f"x {spec.requests_per_thread} requests, median of "
+          f"{args.rounds} ABBA rounds")
+
+    makespans = set()
+    fast_path_used = True
+    previous = os.environ.get("REPRO_FASTSIM")
+    os.environ["REPRO_FASTSIM"] = "1"
+
+    def timed_cell(observe: bool) -> float:
+        nonlocal fast_path_used
+        clear_setup_cache()
+        t0 = time.perf_counter()
+        result = simulate(spec, args.mechanism, config,
+                          observer=Observer(spans=True)
+                          if observe else None)
+        dt = time.perf_counter() - t0
+        makespans.add(result.makespan)
+        fast_path_used &= result.fastsim_fallback is None
+        return dt
+
+    ratios: List[float] = []
+    best_plain = best_obs = float("inf")
+    try:
+        for _ in range(args.rounds):
+            a1 = timed_cell(False)
+            b1 = timed_cell(True)
+            b2 = timed_cell(True)
+            a2 = timed_cell(False)
+            ratios.append((b1 + b2) / (a1 + a2))
+            best_plain = min(best_plain, a1, a2)
+            best_obs = min(best_obs, b1, b2)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FASTSIM", None)
+        else:
+            os.environ["REPRO_FASTSIM"] = previous
+        clear_setup_cache()
+
+    ratios.sort()
+    mid = len(ratios) // 2
+    median_ratio = (ratios[mid] if len(ratios) % 2
+                    else (ratios[mid - 1] + ratios[mid]) / 2)
+    overhead_pct = 100.0 * (median_ratio - 1.0)
+    makespan_identical = len(makespans) == 1
+
+    # The service-comparison payloads (and the streaming-vs-exact
+    # percentile reconciliation, on every mechanism's records).
+    payloads: dict = {}
+    quantiles_exact = True
+    for mechanism in KV_MECHANISMS:
+        _result, records, payload = _kv_run(
+            spec, mechanism, config,
+            crash_points=args.crash_points, crash_seed=args.seed)
+        payloads[mechanism] = payload
+        for values in ([r.latency for r in records],
+                       [r.durable_latency for r in records]):
+            reservoir = slo.LatencyReservoir()
+            for value in values:
+                reservoir.observe(value)
+            quantiles_exact &= all(
+                reservoir.quantile(q) == slo.exact_quantile(values, q)
+                for _name, q in slo.SLO_QUANTILES)
+
+    small = KVServiceSpec(structure="hashmap", num_threads=4,
+                          initial_size=64, requests_per_thread=12,
+                          seed=1)
+    engines_agree = kv_engines_agree(small, MachineConfig(num_cores=4))
+
+    snapshot = {
+        "suite.cell": f"{spec.structure}/kv/{args.mechanism}",
+        "suite.threads": spec.num_threads,
+        "suite.requests": spec.total_requests,
+        "suite.rounds": args.rounds,
+        "seconds_plain": round(best_plain, 4),
+        "seconds_obs": round(best_obs, 4),
+        "telemetry_overhead_pct": round(overhead_pct, 2),
+        "makespan_identical": makespan_identical,
+        "fast_path_used": fast_path_used,
+        "quantiles_exact": quantiles_exact,
+        "engines_agree": engines_agree,
+        "kv": payloads,
+    }
+    _ensure_parent(args.bench_out)
+    with open(args.bench_out, "w") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    print(f"[kvsmoke] plain {best_plain:.3f}s  observed {best_obs:.3f}s"
+          f"  overhead +{overhead_pct:.1f}% "
+          f"(limit {args.overhead_limit:.0f}%)")
+    print(f"[kvsmoke] makespan_identical={makespan_identical}  "
+          f"fast_path_used={fast_path_used}  "
+          f"quantiles_exact={quantiles_exact}  "
+          f"engines_agree={engines_agree}")
+    for line in _render_kv_rows(payloads):
+        print(f"[kvsmoke] {line}")
+    print(f"[kvsmoke] wrote {args.bench_out}")
+    failures = []
+    if not makespan_identical:
+        failures.append("span tracking perturbed the makespan")
+    if not fast_path_used:
+        failures.append("batched engine fell back to the reference loop")
+    if not quantiles_exact:
+        failures.append("streaming percentiles diverge from the "
+                        "stored-record percentiles")
+    if not engines_agree:
+        failures.append("reference-vs-fast span lanes differ")
+    if overhead_pct > args.overhead_limit:
+        failures.append(f"span-tracking overhead {overhead_pct:.1f}% "
+                        f"exceeds {args.overhead_limit:.0f}%")
+    for failure in failures:
+        print(f"[kvsmoke] FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("[kvsmoke] PASSED")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -768,6 +1136,84 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--bench-out", metavar="FILE", default="BENCH_obsfast.json",
         help="snapshot destination (default: %(default)s)")
 
+    slo_parser = subparsers.add_parser(
+        "slo",
+        help="KV-service report: throughput, exact latency "
+             "percentiles, durability lag, crash RTO")
+    slo_parser.add_argument(
+        "--mechanisms", nargs="+", default=list(KV_MECHANISMS),
+        help="mechanisms to compare (default: %(default)s)")
+    slo_parser.add_argument("--workload", default="hashmap",
+                            help="keyed LFD backing the store "
+                                 "(default: %(default)s)")
+    slo_parser.add_argument("--threads", type=int, default=8,
+                            help="client threads (default: %(default)s)")
+    slo_parser.add_argument("--size", type=int, default=512,
+                            help="initial store size "
+                                 "(default: %(default)s)")
+    slo_parser.add_argument("--requests", type=int, default=64,
+                            help="requests per client "
+                                 "(default: %(default)s)")
+    slo_parser.add_argument("--read-ratio", type=float, default=0.9)
+    slo_parser.add_argument("--zipf-theta", type=float, default=0.99)
+    slo_parser.add_argument("--seed", type=int, default=42)
+    slo_parser.add_argument("--uncached", action="store_true",
+                            help="uncached NVM mode")
+    slo_parser.add_argument(
+        "--crash-points", type=int, default=8,
+        help="crash prefixes sampled for the RTO table; 0 disables "
+             "(default: %(default)s)")
+    slo_parser.add_argument(
+        "--interval", type=int, default=DEFAULT_TIMELINE_INTERVAL,
+        help="sparkline window width in cycles (default: %(default)s)")
+    slo_parser.add_argument(
+        "--width", type=int, default=72,
+        help="sparkline width in characters (default: %(default)s)")
+    slo_parser.add_argument(
+        "--csv", metavar="FILE",
+        help="per-request records as CSV (single mechanism only)")
+    slo_parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="request spans as a Chrome trace (single mechanism only)")
+    slo_parser.add_argument(
+        "--json-out", metavar="FILE",
+        help="full SLO payloads as JSON")
+
+    kvsmoke_parser = subparsers.add_parser(
+        "kvsmoke",
+        help="gate the KV-service span-tracking overhead and "
+             "exactness; write BENCH_kv.json")
+    kvsmoke_parser.add_argument("--mechanism", default="lrp",
+                                help="mechanism timed in the ABBA "
+                                     "rounds (default: %(default)s)")
+    kvsmoke_parser.add_argument("--workload", default="hashmap")
+    kvsmoke_parser.add_argument("--threads", type=int, default=16)
+    kvsmoke_parser.add_argument("--size", type=int, default=1024)
+    kvsmoke_parser.add_argument("--requests", type=int, default=192,
+                                help="requests per client "
+                                     "(default: %(default)s)")
+    kvsmoke_parser.add_argument("--read-ratio", type=float, default=0.9)
+    kvsmoke_parser.add_argument("--zipf-theta", type=float,
+                                default=0.99)
+    kvsmoke_parser.add_argument("--seed", type=int, default=42)
+    kvsmoke_parser.add_argument("--uncached", action="store_true")
+    kvsmoke_parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="ABBA rounds (plain/spans/spans/plain, one overhead "
+             "ratio each); the median ratio is the reported overhead "
+             "(default: %(default)s)")
+    kvsmoke_parser.add_argument(
+        "--crash-points", type=int, default=8,
+        help="crash prefixes per mechanism for the RTO payload "
+             "(default: %(default)s)")
+    kvsmoke_parser.add_argument(
+        "--overhead-limit", type=float, default=15.0,
+        help="max span-tracking overhead percent "
+             "(default: %(default)s)")
+    kvsmoke_parser.add_argument(
+        "--bench-out", metavar="FILE", default="BENCH_kv.json",
+        help="snapshot destination (default: %(default)s)")
+
     audit_parser = subparsers.add_parser(
         "audit",
         help="re-verify persist order / consistent cuts against the "
@@ -812,6 +1258,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_diff(args)
         if args.command == "fastsmoke":
             return cmd_fastsmoke(args)
+        if args.command == "slo":
+            return cmd_slo(args)
+        if args.command == "kvsmoke":
+            return cmd_kvsmoke(args)
     except (ValueError, OSError) as exc:
         # Operator errors (unknown mechanism/workload, unwritable or
         # missing file, export without the requested data) get a

@@ -16,6 +16,7 @@ the per-core split with a prefix scan.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional
 
 
@@ -55,6 +56,44 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the power-of-two buckets.
+
+        Uses linear interpolation inside the target bucket, with the
+        bucket bounds clamped to the exact observed ``min``/``max`` so
+        single-bucket histograms (and the extremes ``q=0``/``q=1``)
+        come out exact. Clamped negatives live in bucket 0, whose
+        lower bound is the true (possibly negative) ``min``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        if q == 0.0:
+            return float(self.min)
+        if q == 1.0:
+            return float(self.max)
+        # Nearest-rank target: the smallest rank r with r >= q * count
+        # (rounded to absorb float noise like 0.99 * 100 -> 99.0000...01).
+        rank = max(1, math.ceil(round(q * self.count, 9)))
+        cumulative = 0
+        for bucket, population in sorted(self.buckets.items()):
+            if cumulative + population < rank:
+                cumulative += population
+                continue
+            if bucket == 0:
+                lo, hi = float(self.min), 1.0
+            else:
+                lo, hi = float(2 ** (bucket - 1)), float(2 ** bucket)
+            lo = max(lo, float(self.min))
+            hi = min(hi, float(self.max))
+            if hi < lo:
+                hi = lo
+            fraction = (rank - cumulative) / population
+            return lo + fraction * (hi - lo)
+        return float(self.max)
 
     def to_dict(self) -> Dict[str, object]:
         return {

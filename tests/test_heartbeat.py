@@ -195,6 +195,34 @@ def test_run_watch_once_stale_exit_code(tmp_path):
     assert "STALE" in stream.getvalue()
 
 
+def test_run_watch_missing_directory_exits_one(tmp_path, capsys):
+    """Satellite pin: watching a directory that does not exist fails
+    fast with a one-line diagnostic instead of rendering an empty
+    block forever."""
+    stream = io.StringIO()
+    code = run_watch(str(tmp_path / "never-created"), ttl=15.0,
+                     refresh=0.01, once=False,
+                     renderer=WatchRenderer(stream))
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "no heartbeats" in err
+    assert heartbeat.ENV_DIR in err
+    # Nothing was rendered — the loop never started.
+    assert stream.getvalue() == ""
+
+
+def test_run_watch_empty_directory_exits_one(tmp_path, capsys):
+    """An existing but never-populated directory (sweep launched
+    without REPRO_HEARTBEAT_DIR) gets the same immediate diagnostic."""
+    stream = io.StringIO()
+    code = run_watch(str(tmp_path), ttl=15.0, refresh=0.01, once=True,
+                     renderer=WatchRenderer(stream))
+    assert code == 1
+    assert "no heartbeats" in capsys.readouterr().err
+    assert stream.getvalue() == ""
+
+
 def test_run_watch_stops_when_everything_is_dead(tmp_path):
     """One stale worker + one finished job: the loop must notice that
     nothing is alive any more and stop (exit 1) instead of spinning."""

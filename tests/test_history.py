@@ -67,6 +67,25 @@ class TestClassify:
     def test_mc_exploration_counters_are_info(self, name, value, kind):
         assert classify(name, value) == kind
 
+    @pytest.mark.parametrize("name,value,kind", [
+        # BENCH_kv.json SLO metrics: latency percentiles and RTO gate
+        # with a tolerance (lower is better), throughput as quality
+        # (higher is better) — never as zero-tolerance exact values,
+        # and never as wall-clock timings.
+        ("kv.lrp.p50", 210, "latency"),
+        ("kv.lrp.p99", 5200, "latency"),
+        ("kv.lrp.p999", 9100, "latency"),
+        ("kv.bb.rto.mean_cycles", 60000, "latency"),
+        ("kv.bb.durable_latency.p99", 7000, "latency"),
+        ("kv.lrp.throughput", 0.41, "quality"),
+        # A wall-clock name always stays a timing, even when it also
+        # mentions latency — no cross-gating between the two families.
+        ("kv.latency_probe_seconds", 2.0, "timing"),
+        ("kv.smoke_seconds", 2.0, "timing"),
+    ])
+    def test_kv_slo_metrics_gate_with_tolerance(self, name, value, kind):
+        assert classify(name, value) == kind
+
 
 class TestCompareMetric:
     def test_timing_within_noise_is_ok(self):
@@ -80,6 +99,23 @@ class TestCompareMetric:
 
     def test_timing_improvement(self):
         assert compare_metric("t_seconds", "timing", 10.0, 4.0,
+                              0.5).status == "improved"
+
+    def test_latency_lower_is_better_with_tolerance(self):
+        # Within the noise threshold: drift, not a regression.
+        assert compare_metric("kv.lrp.p99", "latency", 1000, 1200,
+                              0.5).status == "ok"
+        # Past it: a real SLO regression.
+        assert compare_metric("kv.lrp.p99", "latency", 1000, 1600,
+                              0.5).status == "regressed"
+        # Large improvements register as such.
+        assert compare_metric("kv.bb.rto.mean_cycles", "latency",
+                              1000, 400, 0.5).status == "improved"
+
+    def test_throughput_higher_is_better(self):
+        assert compare_metric("kv.lrp.throughput", "quality", 1.0, 0.4,
+                              0.5).status == "regressed"
+        assert compare_metric("kv.lrp.throughput", "quality", 1.0, 1.6,
                               0.5).status == "improved"
 
     def test_quality_direction_is_inverted(self):

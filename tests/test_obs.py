@@ -208,6 +208,83 @@ class TestHistogram:
         assert Histogram.from_dict(legacy).clamped == 0
 
 
+class TestHistogramQuantile:
+    def test_extremes_are_exact(self):
+        hist = Histogram()
+        for value in (3, 17, 90):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 3.0
+        assert hist.quantile(1.0) == 90.0
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        hist = Histogram()
+        hist.observe(1)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_single_value_all_quantiles_collapse(self):
+        hist = Histogram()
+        hist.observe(42)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+
+    def test_median_lands_in_correct_bucket(self):
+        hist = Histogram()
+        # 10 small values and 10 large ones: the median rank (10) is
+        # the last of the small bucket, p75 lands among the large.
+        for _ in range(10):
+            hist.observe(4)       # bucket 2: (2, 4]
+        for _ in range(10):
+            hist.observe(1000)    # bucket 10: (512, 1024]
+        assert 2.0 < hist.quantile(0.5) <= 4.0
+        assert 512.0 < hist.quantile(0.75) <= 1000.0
+
+    def test_interpolation_clamped_to_observed_range(self):
+        # One bucket spans (512, 1024] but the only values are 600:
+        # interpolated quantiles must stay at the observed bounds.
+        hist = Histogram()
+        for _ in range(5):
+            hist.observe(600)
+        assert hist.quantile(0.5) == 600.0
+        assert hist.quantile(0.99) == 600.0
+
+    def test_quantiles_are_monotone(self):
+        hist = Histogram()
+        for value in (1, 2, 5, 9, 30, 70, 200, 900, 4000, 4001):
+            hist.observe(value)
+        quantiles = [hist.quantile(q / 100) for q in range(0, 101, 5)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[0] == 1.0
+        assert quantiles[-1] == 4001.0
+
+    def test_clamped_negatives_anchor_bucket_zero(self):
+        # `clamped`-aware: negatives are stored in bucket 0 but the
+        # interpolation floor is the true (negative) minimum.
+        hist = Histogram()
+        hist.observe(-8)
+        hist.observe(-8)
+        hist.observe(0)
+        hist.observe(64)
+        assert hist.quantile(0.0) == -8.0
+        assert -8.0 <= hist.quantile(0.25) <= 0.0
+        assert hist.quantile(1.0) == 64.0
+
+    def test_matches_exact_on_power_of_two_data(self):
+        # Values that sit exactly on bucket upper bounds reproduce the
+        # exact nearest-rank answer.
+        hist = Histogram()
+        values = [2 ** k for k in range(1, 9)]  # 2..256, one per bucket
+        for value in values:
+            hist.observe(value)
+        assert hist.quantile(0.5) == 16.0   # rank 4 of 8
+        assert hist.quantile(1.0) == 256.0
+
+
 class TestRegistry:
     def test_count_observe_and_prefix_scan(self):
         reg = MetricsRegistry()

@@ -128,6 +128,34 @@ class TestTimelineSampler:
         with pytest.raises(ValueError, match="different intervals"):
             TimelineSampler(10).merge(TimelineSampler(20))
 
+    def test_merge_across_runs_with_different_intervals_refuses(self):
+        """Two real runs sampled at different window widths must refuse
+        to merge — summing misaligned windows would silently corrupt
+        the time axis — and the diagnostic must name both intervals."""
+        spec, config = tiny_spec(), tiny_config()
+        coarse = Observer(timeline_interval=500)
+        fine = Observer(timeline_interval=250)
+        simulate(spec, "lrp", config, observer=coarse)
+        simulate(spec, "lrp", config, observer=fine)
+        with pytest.raises(ValueError) as excinfo:
+            merged_timelines([coarse.timeline.to_dict(),
+                              fine.timeline.to_dict()])
+        assert "500" in str(excinfo.value)
+        assert "250" in str(excinfo.value)
+
+    def test_failed_interval_merge_leaves_target_untouched(self):
+        # The interval check runs before any accumulation, so a refused
+        # merge must not leave half-summed windows behind.
+        target, other = TimelineSampler(10), TimelineSampler(20)
+        target.tick("s", 5, 2)
+        target.gauge("g", 5, 4)
+        other.tick("s", 5, 99)
+        before = (dict(target.series["s"]), dict(target.gauges["g"]))
+        with pytest.raises(ValueError):
+            target.merge(other)
+        assert (target.series["s"], target.gauges["g"]) \
+            == ({0: 2}, {0: 4}) == before
+
     def test_merged_timelines(self):
         a, b = TimelineSampler(10), TimelineSampler(10)
         a.tick("s", 5, 1)
