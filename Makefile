@@ -6,8 +6,8 @@ PY       := PYTHONPATH=src python
 PYTEST   := $(PY) -m pytest
 
 .PHONY: help test smoke selftest fuzz-smoke mc-smoke obsfast-smoke \
-        kv-smoke provenance figures trace bench-report profile \
-        perf-smoke clean
+        kv-smoke svc-smoke provenance figures trace bench-report \
+        profile perf-smoke clean
 
 help:
 	@echo "make test          - full tier-1 suite"
@@ -30,6 +30,11 @@ help:
 	@echo "                     makespans, exact reservoir quantiles,"
 	@echo "                     engine reconciliation -> BENCH_kv.json,"
 	@echo "                     compared against the stored baseline"
+	@echo "make svc-smoke     - experiment job-service gate: SIGKILL'd"
+	@echo "                     campaign resumes byte-identically with"
+	@echo "                     zero re-execution, killed-worker lease"
+	@echo "                     recovery, shared-cache warm start ->"
+	@echo "                     BENCH_svc.json vs the stored baseline"
 	@echo "make provenance    - persist-provenance flame + diff demo"
 	@echo "                     (capture/fold/diff into provenance-out/)"
 	@echo "make figures       - regenerate the paper figures (quick scale)"
@@ -98,6 +103,16 @@ kv-smoke:
 	$(PY) -m repro.obs kvsmoke --bench-out BENCH_kv.json
 	$(PY) -m repro.bench.history --snapshots BENCH_kv.json
 
+# Job-service crash/recovery gate: the selftest drains a small sweep
+# through the persistent queue, SIGKILLs a live campaign mid-flight
+# and resumes it (byte-identical aggregate, zero re-execution),
+# SIGKILLs a single worker (survivors recover its lease), and warm-
+# starts a second campaign from the shared cache (zero executions).
+# The snapshot is compared against the committed baseline.
+svc-smoke:
+	$(PY) -m repro.exp.service selftest --quiet --output BENCH_svc.json
+	$(PY) -m repro.bench.history --snapshots BENCH_svc.json
+
 # Persist-provenance demo: capture BB and LRP runs of the hashmap,
 # fold the LRP stalls into a flamegraph, and diff the two captures
 # (the EXPERIMENTS.md "Persist provenance" walkthrough).
@@ -144,5 +159,5 @@ bench-report:
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks provenance-out heartbeats
 	rm -f BENCH_runner.json BENCH_obsfast.json BENCH_kv.json \
-		BENCH_REPORT.md lrp-trace.json
+		BENCH_svc.json BENCH_REPORT.md lrp-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

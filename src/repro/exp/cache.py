@@ -11,6 +11,22 @@ equality; editing any simulator source invalidates every entry at once
 Keys are built from a canonical JSON rendering of the dataclasses —
 no ``hash()`` involved — so they are stable across processes and
 machines (Python's per-process hash randomization never leaks in).
+
+**Shared caches.** Content addressing makes results location-
+independent, so caches compose: a :class:`ResultCache` constructed
+with ``shared=`` (conventionally ``$REPRO_CACHE_SHARED``, see
+:func:`shared_cache_dir`) treats that directory as a second, slower
+tier. Reads go local first, then shared (a shared hit is copied into
+the local tier — read-through); writes land locally *and* publish to
+the shared directory with the same atomic temp+rename discipline, so
+any number of concurrent campaigns and CI runs can share one
+directory without ever observing a torn entry.
+
+**Hygiene.** Long-lived shared caches grow without bound; the
+``python -m repro.exp cache`` CLI layers ``stats`` (entries, bytes,
+hit-rate since the last ``stats`` call, accumulated from the
+:meth:`ResultCache.flush_stats` sidecar) and ``prune`` (``--older-
+than`` / ``--max-bytes``, dry-run by default) on the helpers here.
 """
 
 from __future__ import annotations
@@ -22,8 +38,9 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 def _canonical(obj: Any) -> Any:
@@ -80,46 +97,99 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-exp"
 
 
-class ResultCache:
-    """Pickle-per-key store of :class:`~repro.exp.runner.RunSummary`."""
+#: Environment variable naming the shared (second-tier) cache
+#: directory. Opt-in at construction: library code passes
+#: ``shared=shared_cache_dir()`` explicitly, so unit tests with a
+#: private temp cache are never surprised by ambient state.
+ENV_SHARED = "REPRO_CACHE_SHARED"
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+
+def shared_cache_dir() -> Optional[Path]:
+    """``$REPRO_CACHE_SHARED`` as a Path, or None when unset."""
+    env = os.environ.get(ENV_SHARED)
+    return Path(env) if env else None
+
+
+def _atomic_pickle(path: Path, value: Any) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Pickle-per-key store of :class:`~repro.exp.runner.RunSummary`.
+
+    With ``shared=`` set, the shared directory acts as a read-through
+    second tier: local miss -> shared read (copied into the local
+    tier on hit), every write published to both atomically.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 shared: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.shared = Path(shared) if shared is not None else None
         self.hits = 0
         self.misses = 0
+        #: Hits served from the shared tier (subset of ``hits``).
+        self.shared_hits = 0
 
     def _path(self, key: str) -> Path:
         # Two-level fanout keeps directories small under big sweeps.
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[Any]:
-        """The cached value, or None (corrupt entries count as misses)."""
-        path = self._path(key)
+    def _shared_path(self, key: str) -> Path:
+        assert self.shared is not None
+        return self.shared / key[:2] / f"{key}.pkl"
+
+    @staticmethod
+    def _load(path: Path) -> Optional[Any]:
         try:
             with open(path, "rb") as handle:
-                value = pickle.load(handle)
+                return pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError):
+            return None
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None (corrupt entries count as misses)."""
+        value = self._load(self._path(key))
+        if value is None and self.shared is not None:
+            value = self._load(self._shared_path(key))
+            if value is not None:
+                # Read-through: promote into the local tier so the
+                # next lookup never leaves this process's disk.
+                _atomic_pickle(self._path(key), value)
+                self.shared_hits += 1
+        if value is None:
             self.misses += 1
             return None
         self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store atomically (concurrent writers never corrupt entries)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        """Store atomically (concurrent writers never corrupt entries).
+
+        Publish-on-write: with a shared tier configured, the entry is
+        also published there (same temp+rename discipline), making the
+        result visible to every other campaign sharing the directory.
+        """
+        _atomic_pickle(self._path(key), value)
+        if self.shared is not None:
             try:
-                os.unlink(tmp)
+                _atomic_pickle(self._shared_path(key), value)
             except OSError:
+                # A read-only or full shared tier degrades the cache
+                # to local-only; it must never fail the run.
                 pass
-            raise
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -137,3 +207,142 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    def total_bytes(self) -> int:
+        """Sum of entry sizes (for the stats / prune budget)."""
+        total = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        return total
+
+    # -- usage-stats sidecar (python -m repro.exp cache stats) ----------
+
+    @property
+    def stats_path(self) -> Path:
+        return self.root / "cache-stats.jsonl"
+
+    def flush_stats(self) -> bool:
+        """Append this session's hit/miss counters to the sidecar.
+
+        Called at the end of a runner/service session (never per
+        lookup — the hot path stays file-system-quiet). The ``cache
+        stats`` CLI folds the lines since its last marker into a
+        hit-rate "since last stats". Returns False when there was
+        nothing to record or the sidecar is unwritable.
+        """
+        if not (self.hits or self.misses):
+            return False
+        record = {"hits": self.hits, "misses": self.misses,
+                  "shared_hits": self.shared_hits, "at": time.time()}
+        return _append_stats_line(self.stats_path, record)
+
+
+def _append_stats_line(path: Path, record: Dict[str, object]) -> bool:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fd = os.open(str(path),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+    except OSError:
+        return False
+    return True
+
+
+def read_stats_since_marker(path: Path) -> Dict[str, object]:
+    """Fold sidecar lines recorded after the last ``stats`` marker."""
+    hits = misses = shared_hits = sessions = 0
+    try:
+        with open(path) as handle:
+            for raw in handle:
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if record.get("marker"):
+                    hits = misses = shared_hits = sessions = 0
+                    continue
+                hits += int(record.get("hits", 0))
+                misses += int(record.get("misses", 0))
+                shared_hits += int(record.get("shared_hits", 0))
+                sessions += 1
+    except OSError:
+        pass
+    lookups = hits + misses
+    return {
+        "sessions": sessions,
+        "hits": hits,
+        "misses": misses,
+        "shared_hits": shared_hits,
+        "hit_rate": (hits / lookups) if lookups else None,
+    }
+
+
+def write_stats_marker(path: Path) -> bool:
+    """Reset the "since last stats" window (appends a marker line)."""
+    return _append_stats_line(path, {"marker": True, "at": time.time()})
+
+
+def plan_prune(cache: ResultCache,
+               older_than_seconds: Optional[float] = None,
+               max_bytes: Optional[int] = None,
+               now: Optional[float] = None) -> List[Tuple[Path, int]]:
+    """Entries that a prune with these limits would delete.
+
+    ``older_than_seconds`` drops entries whose mtime is older;
+    ``max_bytes`` then evicts oldest-first until the cache fits the
+    budget. Pure planning — nothing is unlinked here, which is what
+    makes the CLI's dry-run default trustworthy.
+    """
+    now = time.time() if now is None else now
+    entries: List[Tuple[float, Path, int]] = []
+    if cache.root.exists():
+        for path in cache.root.rglob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+    entries.sort()  # oldest first
+    victims: List[Tuple[Path, int]] = []
+    chosen = set()
+    if older_than_seconds is not None:
+        cutoff = now - older_than_seconds
+        for mtime, path, size in entries:
+            if mtime < cutoff:
+                victims.append((path, size))
+                chosen.add(path)
+    if max_bytes is not None:
+        remaining = sum(size for _mtime, path, size in entries
+                        if path not in chosen)
+        for _mtime, path, size in entries:
+            if remaining <= max_bytes:
+                break
+            if path in chosen:
+                continue
+            victims.append((path, size))
+            chosen.add(path)
+            remaining -= size
+    return victims
+
+
+def execute_prune(victims: List[Tuple[Path, int]]) -> Tuple[int, int]:
+    """Unlink planned victims; returns (entries_removed, bytes_freed)."""
+    removed = freed = 0
+    for path, size in victims:
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        freed += size
+    return removed, freed

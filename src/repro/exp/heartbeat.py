@@ -67,13 +67,16 @@ class HeartbeatWriter:
     def update(self, state: str, **fields: object) -> bool:
         """Write the heartbeat; returns False when throttled away.
 
-        Terminal states always write (the final record must land);
-        intermediate ones are dropped when the last write is fresher
-        than :data:`MIN_WRITE_GAP`.
+        Terminal states always write (the final record must land,
+        bypassing the throttle unconditionally) and get one retry on
+        a transient write error — a finished job whose last heartbeat
+        never lands renders as running/stale in ``--watch`` forever.
+        Intermediate states are dropped when the last write is fresher
+        than :data:`MIN_WRITE_GAP` and never retried.
         """
         now = time.time()
-        if (state not in TERMINAL_STATES
-                and now - self._last_write < MIN_WRITE_GAP):
+        terminal = state in TERMINAL_STATES
+        if not terminal and now - self._last_write < MIN_WRITE_GAP:
             return False
         payload: Dict[str, object] = {
             "label": self.label,
@@ -83,6 +86,16 @@ class HeartbeatWriter:
             "updated_at": now,
         }
         payload.update(fields)
+        attempts = 2 if terminal else 1
+        for attempt in range(attempts):
+            if self._write(payload):
+                self._last_write = now
+                return True
+            if attempt + 1 < attempts:
+                time.sleep(0.01)
+        return False
+
+    def _write(self, payload: Dict[str, object]) -> bool:
         tmp = f"{self.path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "w") as handle:
@@ -95,7 +108,6 @@ class HeartbeatWriter:
             except OSError:
                 pass
             return False
-        self._last_write = now
         return True
 
 

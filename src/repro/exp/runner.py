@@ -36,7 +36,8 @@ from repro.common.stats import RunStats
 from repro.core import fastsim
 from repro.core.simulator import SimulationResult, simulate
 from repro.exp import heartbeat
-from repro.exp.cache import ResultCache, code_version, stable_digest
+from repro.exp.cache import (ResultCache, code_version,
+                             shared_cache_dir, stable_digest)
 from repro.exp.progress import NullProgress, ProgressReporter
 from repro.workloads.harness import WorkloadSpec
 
@@ -283,6 +284,14 @@ class ExperimentRunner:
                 if hit is not None:
                     results[index] = hit
                     self.cache_hits += 1
+                    # A cache hit finishes the job without a worker —
+                    # flush a terminal heartbeat so a watcher never
+                    # shows it as pending/running (e.g. stale files
+                    # left by an interrupted earlier sweep).
+                    writer = heartbeat.job_writer(job.label())
+                    if writer is not None:
+                        writer.update("done", cached=True,
+                                      makespan=hit.makespan)
                     self.progress.job_done(job.label(), cached=True)
                     continue
                 self.cache_misses += 1
@@ -297,6 +306,10 @@ class ExperimentRunner:
             self._run_pool(jobs, pending, keys, results)
 
         self.progress.finish()
+        if self.cache is not None:
+            # Feed the `python -m repro.exp cache stats` sidecar once
+            # per batch (never per lookup).
+            self.cache.flush_stats()
         assert all(summary is not None for summary in results)
         return results  # type: ignore[return-value]
 
@@ -360,9 +373,15 @@ def set_default_runner(runner: Optional[ExperimentRunner]) -> None:
 
 def make_runner(jobs: Optional[int] = None, use_cache: bool = False,
                 verbose: bool = False) -> ExperimentRunner:
-    """Convenience constructor used by the CLIs."""
+    """Convenience constructor used by the CLIs.
+
+    A cached runner picks up ``$REPRO_CACHE_SHARED`` as its second
+    tier, so CLI sweeps on one machine share results with every
+    campaign pointed at the same directory.
+    """
     return ExperimentRunner(
         jobs=jobs if jobs is not None else default_jobs(),
-        cache=ResultCache() if use_cache else None,
+        cache=(ResultCache(shared=shared_cache_dir())
+               if use_cache else None),
         progress=ProgressReporter() if verbose else None,
     )

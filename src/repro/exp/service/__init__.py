@@ -1,0 +1,58 @@
+"""Persistent experiment job service.
+
+The :mod:`repro.exp` runner is a one-shot fan-out: perfect for a
+figure that finishes in seconds, useless for a paper-scale campaign
+(64K-1M-key configs x mechanisms x thread counts x seeds) that must
+survive crashes, resume where it stopped, and stream results while it
+runs. This package layers a job service on the existing
+runner/cache/heartbeat stack:
+
+* :mod:`~repro.exp.service.queue` — a crash-safe on-disk work queue.
+  Every job is a ticket file keyed by its content-address digest;
+  state transitions (``pending -> leased -> done/failed``) are atomic
+  renames, so a SIGKILL at any instant leaves the queue in a state
+  the next ``resume`` repairs mechanically (queue-based load
+  leveling). Leases carry the worker pid and an expiry; dead workers'
+  jobs are re-queued with bounded retry.
+* :mod:`~repro.exp.service.campaign` — the campaign directory: an
+  append-only journal of job specs, an incremental results journal
+  each completed job appends to, a campaign-local content-addressed
+  result cache (read-through to ``$REPRO_CACHE_SHARED``), and the
+  deterministic byte-identical :meth:`~Campaign.aggregate`.
+* :mod:`~repro.exp.service.worker` — the worker pool: each worker
+  drains its own shard of the sweep grid and steals from the longest
+  pending shard when idle; a coordinator recovers dead workers'
+  leases and feeds progress to the heartbeat/watch stack.
+  :class:`~repro.exp.service.worker.ServiceRunner` adapts a campaign
+  to the :class:`~repro.exp.runner.ExperimentRunner` interface so
+  ``repro.bench.figures --service DIR`` runs its grid as a resumable
+  campaign.
+* ``python -m repro.exp.service`` — ``submit`` / ``run`` / ``status``
+  / ``resume`` / ``aggregate`` / ``--selftest``. The selftest pins
+  the headline guarantee: a campaign SIGKILL'd mid-sweep and resumed
+  produces **byte-identical** aggregate results to an uninterrupted
+  run, with zero re-execution of jobs already in the journal or
+  cache.
+
+Everything downstream of the queue is the existing, heavily pinned
+execution path (:func:`repro.exp.runner.execute_job`), so service
+runs inherit every bit-identity guarantee the runner already has.
+"""
+
+from repro.exp.service.campaign import Campaign, create_campaign, open_campaign
+from repro.exp.service.codec import decode_job, encode_job
+from repro.exp.service.queue import Ticket, WorkQueue
+from repro.exp.service.worker import ServiceRunner, run_campaign, worker_loop
+
+__all__ = [
+    "Campaign",
+    "ServiceRunner",
+    "Ticket",
+    "WorkQueue",
+    "create_campaign",
+    "decode_job",
+    "encode_job",
+    "open_campaign",
+    "run_campaign",
+    "worker_loop",
+]

@@ -1,0 +1,253 @@
+"""``python -m repro.exp.service`` — campaign CLI.
+
+Subcommands::
+
+    submit DIR      build a sweep grid and enqueue it as a campaign
+    run DIR         drive the worker pool until the campaign finishes
+    resume DIR      alias of run (resume *is* run: recover + continue)
+    status DIR      one JSON snapshot of queue + journal progress
+    aggregate DIR   the deterministic canonical result bytes
+    selftest        pin the kill/resume byte-identity guarantee and
+                    write BENCH_svc.json (see selftest.py)
+
+A campaign directory is self-describing (``meta.json`` records the
+shard/lease/retry parameters), so ``run``/``status``/``aggregate``
+need nothing but the path. ``run`` exits 0 only when every job is
+done; an interrupted run exits nonzero and a later ``run``/``resume``
+of the same directory picks up exactly where it stopped — jobs
+already in the results journal or cache are never executed again.
+
+Watch a running campaign live with::
+
+    python -m repro.exp --watch DIR/heartbeats
+    python -m repro.bench.history --live DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.configs import SCALED_CONFIG, bench_config
+from repro.exp.runner import Job
+from repro.exp.service.campaign import (
+    open_campaign,
+    open_or_create,
+)
+from repro.exp.service.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+)
+from repro.exp.service.worker import run_campaign
+from repro.workloads.harness import WorkloadSpec
+
+DEFAULT_WORKLOADS = ("linkedlist", "hashmap", "bstree", "skiplist",
+                     "queue")
+DEFAULT_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+
+def grid_jobs(workloads: Sequence[str], mechanisms: Sequence[str],
+              threads: Sequence[int], seeds: Sequence[int],
+              size: int, ops: int) -> List[Job]:
+    """The cross-product sweep grid ``submit`` enqueues."""
+    config = bench_config(SCALED_CONFIG)
+    return [
+        Job(spec=WorkloadSpec(structure=workload,
+                              num_threads=num_threads,
+                              initial_size=size,
+                              ops_per_thread=ops,
+                              seed=seed),
+            mechanism=mechanism, config=config)
+        for workload in workloads
+        for mechanism in mechanisms
+        for num_threads in threads
+        for seed in seeds
+    ]
+
+
+def _csv(text: str) -> List[str]:
+    return [item for item in text.split(",") if item]
+
+
+def _int_csv(text: str) -> List[int]:
+    return [int(item) for item in _csv(text)]
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    jobs = grid_jobs(_csv(args.workloads), _csv(args.mechanisms),
+                     _int_csv(args.threads), _int_csv(args.seeds),
+                     args.size, args.ops)
+    campaign = open_or_create(
+        args.dir, jobs, num_shards=args.shards,
+        lease_ttl=args.lease_ttl, max_attempts=args.max_attempts)
+    status = campaign.status()
+    print(json.dumps({"submitted": len(jobs), **status.as_dict()},
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    def _print_status(status) -> None:
+        if args.quiet:
+            return
+        print(f"\r{status.name}: {status.done}/{status.total} done, "
+              f"{status.leased} running, {status.pending} pending, "
+              f"{status.failed} failed   ",
+              end="", file=sys.stderr, flush=True)
+
+    report = run_campaign(args.dir, workers=args.workers,
+                          poll=args.poll, on_status=_print_status)
+    if not args.quiet:
+        print(file=sys.stderr)
+    payload = {
+        "status": report.status.as_dict(),
+        "recovered_leases": report.recovered_leases,
+        "elapsed_seconds": round(report.elapsed_seconds, 3),
+        "workers": report.workers,
+        "worker_stats": report.worker_stats,
+        "complete": report.ok,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    campaign = open_campaign(args.dir)
+    status = campaign.status()
+    print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+    return 0 if status.complete else 1
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    campaign = open_campaign(args.dir)
+    try:
+        blob = campaign.aggregate()
+    except RuntimeError as exc:
+        print(f"aggregate: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(blob)
+        print(f"aggregate: wrote {len(blob)} bytes to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(blob.decode("utf-8"))
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.exp.service.selftest import run_selftest
+
+    report = run_selftest(output=args.output, workers=args.workers,
+                          verbose=not args.quiet)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    ok = bool(report.get("ok"))
+    print(f"\nservice selftest {'PASSED' if ok else 'FAILED'}: "
+          f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+def _add_queue_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=4,
+                        help="pending-queue shards for work stealing "
+                             "(default: %(default)s)")
+    parser.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_LEASE_TTL, metavar="SEC",
+                        help="lease expiry for unknown-liveness workers "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-attempts", type=int,
+                        default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                        help="execution attempts per job before it is "
+                             "marked failed (default: %(default)s)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp.service",
+        description="Persistent experiment job service: crash-safe "
+                    "queue, resumable sharded campaigns, shared "
+                    "result cache.")
+    sub = parser.add_subparsers(dest="command")
+
+    submit = sub.add_parser(
+        "submit", help="enqueue a sweep grid as a campaign")
+    submit.add_argument("dir", help="campaign directory")
+    submit.add_argument("--workloads",
+                        default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated structures "
+                             "(default: %(default)s)")
+    submit.add_argument("--mechanisms",
+                        default=",".join(DEFAULT_MECHANISMS),
+                        help="comma-separated mechanisms "
+                             "(default: %(default)s)")
+    submit.add_argument("--threads", default="8",
+                        help="comma-separated thread counts "
+                             "(default: %(default)s)")
+    submit.add_argument("--seeds", default="1",
+                        help="comma-separated workload seeds "
+                             "(default: %(default)s)")
+    submit.add_argument("--size", type=int, default=512,
+                        help="initial structure size "
+                             "(default: %(default)s)")
+    submit.add_argument("--ops", type=int, default=16,
+                        help="operations per thread "
+                             "(default: %(default)s)")
+    _add_queue_params(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    for name, help_text in (
+            ("run", "drive workers until the campaign finishes"),
+            ("resume", "recover leases and continue (alias of run)")):
+        run = sub.add_parser(name, help=help_text)
+        run.add_argument("dir", help="campaign directory")
+        run.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker processes; 0 drains in-process "
+                              "(default: %(default)s)")
+        run.add_argument("--poll", type=float, default=0.1,
+                         metavar="SEC",
+                         help="idle/supervision poll period "
+                              "(default: %(default)s)")
+        run.add_argument("--quiet", action="store_true",
+                         help="suppress the live progress line")
+        run.set_defaults(func=cmd_run)
+
+    status = sub.add_parser(
+        "status", help="JSON snapshot of campaign progress")
+    status.add_argument("dir", help="campaign directory")
+    status.set_defaults(func=cmd_status)
+
+    aggregate = sub.add_parser(
+        "aggregate", help="emit the canonical deterministic results")
+    aggregate.add_argument("dir", help="campaign directory")
+    aggregate.add_argument("--output", default=None, metavar="FILE",
+                           help="write bytes to FILE instead of stdout")
+    aggregate.set_defaults(func=cmd_aggregate)
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="pin kill/resume byte-identity; write BENCH_svc.json")
+    selftest.add_argument("--output", default="BENCH_svc.json",
+                          help="benchmark JSON path "
+                               "(default: %(default)s)")
+    selftest.add_argument("--workers", type=int, default=2, metavar="N",
+                          help="worker processes per phase "
+                               "(default: %(default)s)")
+    selftest.add_argument("--quiet", action="store_true",
+                          help="suppress phase progress on stderr")
+    selftest.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""Campaign directories: job journal, results journal, aggregate.
+
+A campaign is a directory owned by the service::
+
+    <root>/meta.json        submission order + queue parameters
+    <root>/jobs/<digest>.json   encoded job spec, one per unique digest
+    <root>/queue/...        the sharded ticket store (queue.py)
+    <root>/results.jsonl    append-only journal of completed jobs
+    <root>/cache/           campaign-local content-addressed results
+    <root>/heartbeats/      live per-job/worker status for --watch
+
+Jobs are keyed by their existing content-address digest
+(:meth:`repro.exp.runner.Job.key`), so the campaign shares identity
+with the result cache: a job that is in the campaign cache (or the
+``$REPRO_CACHE_SHARED`` directory) is *never* executed again — the
+worker read-throughs the summary and journals it as ``cached``.
+
+The results journal is the campaign's incremental output: every
+completed job appends one JSON line (locked, single write) that
+``repro.bench.history --live`` and the watch renderer display while
+the sweep runs. :meth:`Campaign.aggregate` distills the journal into
+the deterministic byte string the resume guarantee is pinned on —
+fingerprints only (makespans, persist-log digests, stats), ordered by
+submission order, deduplicated by digest, with every nondeterministic
+field (worker id, wall-clock, cache disposition) excluded. An
+interrupted campaign resumed to completion therefore aggregates to
+*byte-identical* output, regardless of which workers ran what when.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exp.cache import ResultCache, shared_cache_dir
+from repro.exp.runner import Job, RunSummary
+from repro.exp.service.codec import decode_job, encode_job
+from repro.exp.service.queue import (
+    DEFAULT_BACKOFF,
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    WorkQueue,
+    _write_json,
+)
+
+try:  # POSIX file locking for the shared results journal.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+META_VERSION = 1
+
+
+def fingerprint(summary: RunSummary) -> Dict[str, object]:
+    """The deterministic distillation of one run for the aggregate.
+
+    Everything here is a pure function of (spec, config, mechanism) —
+    the simulator's determinism contract — so two executions of the
+    same digest always fingerprint identically.
+    """
+    return {
+        "workload": summary.spec.structure,
+        "mechanism": summary.mechanism,
+        "num_threads": summary.spec.num_threads,
+        "seed": summary.spec.seed,
+        "makespan": summary.makespan,
+        "persists": summary.persist_count,
+        "log_digest": summary.persist_log_digest,
+        "stats": summary.stats.summary(),
+        "mechanism_counters": dict(summary.mechanism_counters),
+        "outcomes": dict(summary.outcome_counts),
+        "crash_attempts": summary.crash_attempts,
+        "crash_failures": summary.crash_failures,
+    }
+
+
+@dataclasses.dataclass
+class CampaignStatus:
+    """One snapshot of a campaign's progress."""
+
+    name: str
+    total: int
+    pending: int
+    leased: int
+    done: int
+    failed: int
+    journaled: int
+    pending_per_shard: List[int]
+
+    @property
+    def finished(self) -> bool:
+        return self.done + self.failed >= self.total
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class Campaign:
+    """One on-disk campaign (open an existing one via
+    :func:`open_campaign`, create via :func:`create_campaign`)."""
+
+    def __init__(self, root: str, meta: Dict[str, object]) -> None:
+        self.root = os.path.abspath(root)
+        self.meta = meta
+        self.queue = WorkQueue(
+            self.root,
+            num_shards=int(meta["num_shards"]),
+            lease_ttl=float(meta["lease_ttl"]),
+            max_attempts=int(meta["max_attempts"]),
+            backoff=float(meta.get("backoff", DEFAULT_BACKOFF)))
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.root, "meta.json")
+
+    @property
+    def jobs_dir(self) -> str:
+        return os.path.join(self.root, "jobs")
+
+    @property
+    def results_path(self) -> str:
+        return os.path.join(self.root, "results.jsonl")
+
+    @property
+    def heartbeat_dir(self) -> str:
+        return os.path.join(self.root, "heartbeats")
+
+    @property
+    def name(self) -> str:
+        return str(self.meta.get("name", os.path.basename(self.root)))
+
+    @property
+    def order(self) -> List[str]:
+        return list(self.meta["order"])
+
+    @property
+    def unique(self) -> List[str]:
+        return list(self.meta["unique"])
+
+    def cache(self) -> ResultCache:
+        """The campaign-local result store (read-through to the
+        ``$REPRO_CACHE_SHARED`` directory when set)."""
+        return ResultCache(os.path.join(self.root, "cache"),
+                           shared=shared_cache_dir())
+
+    # -- submission -----------------------------------------------------
+
+    def _write_meta(self) -> None:
+        _write_json(self.meta_path, self.meta)
+
+    def extend(self, jobs: Sequence[Job]) -> List[str]:
+        """Append jobs to the campaign; returns the *new* digests.
+
+        Idempotent per digest: submitting a job the campaign already
+        tracks only appends to the ordering (so a figure that reuses
+        a run sees it twice in the aggregate) without a second ticket.
+        The write order — job spec, then meta, then ticket — keeps
+        every crash window repairable by :meth:`ensure_tickets`.
+        """
+        order = list(self.meta["order"])
+        unique = list(self.meta["unique"])
+        known = set(unique)
+        new_digests: List[str] = []
+        encoded: List[tuple] = []
+        for job in jobs:
+            digest = job.key()
+            encoded.append((digest, job))
+            order.append(digest)
+            if digest not in known:
+                known.add(digest)
+                unique.append(digest)
+                new_digests.append(digest)
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        for digest, job in encoded:
+            path = os.path.join(self.jobs_dir, f"{digest}.json")
+            if not os.path.exists(path):
+                _write_json(path, encode_job(job))
+        self.meta["order"] = order
+        self.meta["unique"] = unique
+        self._write_meta()
+        seq_of = {digest: seq for seq, digest in enumerate(unique)}
+        for digest in new_digests:
+            self.queue.add(seq_of[digest], digest)
+        return new_digests
+
+    def ensure_tickets(self) -> int:
+        """Re-materialize tickets lost to a mid-submit crash."""
+        present = set()
+        counts_root = self.queue.root
+        for state in ("leased", "requeue"):
+            for name in self.queue._list(
+                    os.path.join(counts_root, state)):
+                split = self.queue._split_lease(name)
+                parsed = (self.queue._parse(split[0])
+                          if split is not None else None)
+                if parsed is not None:
+                    present.add(parsed[1])
+        for state in ("done", "failed"):
+            for name in self.queue._list(
+                    os.path.join(counts_root, state)):
+                parsed = self.queue._parse(name)
+                if parsed is not None:
+                    present.add(parsed[1])
+        for shard in range(self.queue.num_shards):
+            for name in self.queue._list(self.queue._shard_dir(shard)):
+                parsed = self.queue._parse(name)
+                if parsed is not None:
+                    present.add(parsed[1])
+        added = 0
+        for seq, digest in enumerate(self.unique):
+            if digest not in present:
+                self.queue.add(seq, digest)
+                added += 1
+        return added
+
+    # -- job access -----------------------------------------------------
+
+    def load_job(self, digest: str) -> Job:
+        path = os.path.join(self.jobs_dir, f"{digest}.json")
+        with open(path) as handle:
+            return decode_job(json.load(handle))
+
+    # -- results journal ------------------------------------------------
+
+    def append_result(self, record: Dict[str, object]) -> None:
+        """Locked single-write append of one JSON line."""
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        fd = os.open(self.results_path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def read_results(self) -> List[Dict[str, object]]:
+        """Journal records in append order (torn lines skipped)."""
+        records: List[Dict[str, object]] = []
+        try:
+            with open(self.results_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn final line of a killed run
+                    if isinstance(record, dict):
+                        records.append(record)
+        except OSError:
+            pass
+        return records
+
+    def results_by_digest(self) -> Dict[str, Dict[str, object]]:
+        """First journal record per digest (duplicates carry identical
+        fingerprints by determinism, so first-wins is arbitrary-safe)."""
+        by_digest: Dict[str, Dict[str, object]] = {}
+        for record in self.read_results():
+            digest = record.get("digest")
+            if isinstance(digest, str) and digest not in by_digest:
+                by_digest[digest] = record
+        return by_digest
+
+    # -- aggregate / status ---------------------------------------------
+
+    def aggregate(self) -> bytes:
+        """Canonical bytes of the full campaign's results.
+
+        Deterministic by construction: fingerprints only, in
+        submission order, one entry per ``order`` slot. Raises while
+        any job is still unfinished or failed — a partial aggregate
+        can never masquerade as the real one.
+        """
+        by_digest = self.results_by_digest()
+        missing = [digest for digest in self.unique
+                   if digest not in by_digest]
+        if missing:
+            raise RuntimeError(
+                f"campaign incomplete: {len(missing)} job(s) without "
+                f"a journaled result (first: {missing[0][:12]}...)")
+        payload = {
+            "campaign": self.name,
+            "jobs": [
+                {"digest": digest,
+                 **by_digest[digest]["fingerprint"]}
+                for digest in self.order
+            ],
+        }
+        text = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        return text.encode("utf-8") + b"\n"
+
+    def status(self) -> CampaignStatus:
+        counts = self.queue.counts()
+        return CampaignStatus(
+            name=self.name,
+            total=len(self.unique),
+            pending=int(counts["pending"]),
+            leased=int(counts["leased"]),
+            done=int(counts["done"]),
+            failed=int(counts["failed"]),
+            journaled=len(self.results_by_digest()),
+            pending_per_shard=list(counts["pending_per_shard"]),
+        )
+
+
+def create_campaign(root: str, jobs: Iterable[Job], *,
+                    name: Optional[str] = None,
+                    num_shards: int = 4,
+                    lease_ttl: float = DEFAULT_LEASE_TTL,
+                    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                    backoff: float = DEFAULT_BACKOFF) -> Campaign:
+    """Create a fresh campaign directory and enqueue ``jobs``."""
+    root = os.path.abspath(root)
+    meta_path = os.path.join(root, "meta.json")
+    if os.path.exists(meta_path):
+        raise FileExistsError(
+            f"campaign already exists at {root} — use open_campaign/"
+            "resume, or pick a fresh directory")
+    os.makedirs(root, exist_ok=True)
+    meta: Dict[str, object] = {
+        "version": META_VERSION,
+        "name": name or os.path.basename(root) or "campaign",
+        "created_at": time.time(),
+        "num_shards": int(num_shards),
+        "lease_ttl": float(lease_ttl),
+        "max_attempts": int(max_attempts),
+        "backoff": float(backoff),
+        "order": [],
+        "unique": [],
+    }
+    campaign = Campaign(root, meta)
+    campaign.queue.ensure_dirs()
+    os.makedirs(campaign.heartbeat_dir, exist_ok=True)
+    campaign._write_meta()
+    campaign.extend(list(jobs))
+    return campaign
+
+
+def open_campaign(root: str) -> Campaign:
+    """Open an existing campaign (raises FileNotFoundError otherwise)."""
+    root = os.path.abspath(root)
+    meta_path = os.path.join(root, "meta.json")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    version = meta.get("version")
+    if version != META_VERSION:
+        raise ValueError(f"unsupported campaign meta version {version!r}")
+    campaign = Campaign(root, meta)
+    campaign.queue.ensure_dirs()
+    return campaign
+
+
+def open_or_create(root: str, jobs: Sequence[Job],
+                   **create_kwargs) -> Campaign:
+    """Open ``root`` and extend it with any new jobs, or create it.
+
+    Extension is digest-idempotent: resubmitting a grid the campaign
+    already tracks adds nothing, so an interrupted ``--service``
+    figure run can simply be re-launched against the same directory.
+    """
+    if os.path.exists(os.path.join(root, "meta.json")):
+        campaign = open_campaign(root)
+        known = set(campaign.unique)
+        fresh = [job for job in jobs if job.key() not in known]
+        if fresh:
+            campaign.extend(fresh)
+        return campaign
+    return create_campaign(root, jobs, **create_kwargs)

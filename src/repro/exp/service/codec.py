@@ -1,0 +1,107 @@
+"""JSON codec for :class:`~repro.exp.runner.Job`.
+
+The queue journals job specs to disk, so a campaign submitted today
+must decode bit-exactly in a worker process tomorrow. The cache
+already renders every spec/config dataclass into canonical JSON for
+its digests (:func:`repro.exp.cache._canonical`); this module adds the
+inverse: a typed envelope that names the spec class so decoding
+reconstructs the exact frozen dataclasses, enum members included.
+
+The round-trip contract is strict equality: ``decode_job(encode_job(j))
+== j``, which implies the decoded job's content-address digest
+(:meth:`Job.key`) matches the submitted one — the property the whole
+resume/no-re-execution story rests on. ``tests/test_service.py`` pins
+it per spec type.
+
+Fuzz-leg jobs carry live mutation objects that have no stable JSON
+form; the service refuses them at submit time rather than silently
+dropping the leg.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Type
+
+from repro.common.params import MachineConfig, NVMMode
+from repro.exp.runner import Job
+from repro.workloads.harness import WorkloadSpec
+
+#: Format tag written into every encoded job (bump on layout change).
+CODEC_VERSION = 1
+
+
+def _spec_types() -> Dict[str, Type]:
+    from repro.workloads.kvservice import KVServiceSpec
+
+    return {"WorkloadSpec": WorkloadSpec, "KVServiceSpec": KVServiceSpec}
+
+
+def _plain_fields(obj) -> Dict[str, object]:
+    """Dataclass fields as JSON primitives (enums by value)."""
+    fields: Dict[str, object] = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        if isinstance(value, NVMMode):
+            value = value.value
+        fields[field.name] = value
+    return fields
+
+
+def encode_job(job: Job) -> Dict[str, object]:
+    """Render a job as a JSON-stable dict (raises on fuzz jobs)."""
+    if job.fuzz is not None:
+        raise ValueError(
+            "fuzz-leg jobs are not service-encodable: the mutation "
+            "spec has no stable JSON form; run fuzz campaigns through "
+            "python -m repro.fuzz instead")
+    spec_type = type(job.spec).__name__
+    if spec_type not in _spec_types():
+        raise ValueError(f"unknown spec type {spec_type!r}")
+    return {
+        "codec": CODEC_VERSION,
+        "spec_type": spec_type,
+        "spec": _plain_fields(job.spec),
+        "mechanism": job.mechanism,
+        "config": _plain_fields(job.config),
+        "crash_points": job.crash_points,
+        "crash_seed": job.crash_seed,
+        "collect_obs": job.collect_obs,
+        "collect_trace": job.collect_trace,
+        "timeline_interval": job.timeline_interval,
+        "collect_provenance": job.collect_provenance,
+        "collect_spans": job.collect_spans,
+        "schedule_nudges": (
+            [list(pair) for pair in job.schedule_nudges]
+            if job.schedule_nudges is not None else None),
+    }
+
+
+def decode_job(data: Dict[str, object]) -> Job:
+    """Reconstruct the exact Job an :func:`encode_job` dict came from."""
+    version = data.get("codec")
+    if version != CODEC_VERSION:
+        raise ValueError(f"unsupported job codec version {version!r}")
+    spec_cls = _spec_types().get(str(data["spec_type"]))
+    if spec_cls is None:
+        raise ValueError(f"unknown spec type {data['spec_type']!r}")
+    spec = spec_cls(**data["spec"])
+    config_fields = dict(data["config"])
+    config_fields["nvm_mode"] = NVMMode(config_fields["nvm_mode"])
+    config = MachineConfig(**config_fields)
+    nudges = data.get("schedule_nudges")
+    return Job(
+        spec=spec,
+        mechanism=str(data["mechanism"]),
+        config=config,
+        crash_points=data.get("crash_points"),
+        crash_seed=int(data.get("crash_seed", 0)),
+        collect_obs=bool(data.get("collect_obs", False)),
+        collect_trace=bool(data.get("collect_trace", False)),
+        timeline_interval=data.get("timeline_interval"),
+        collect_provenance=bool(data.get("collect_provenance", False)),
+        collect_spans=bool(data.get("collect_spans", False)),
+        schedule_nudges=(
+            tuple((int(i), int(r)) for i, r in nudges)
+            if nudges is not None else None),
+    )

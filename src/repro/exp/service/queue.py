@@ -1,0 +1,487 @@
+"""Crash-safe on-disk work queue with sharding and leases.
+
+One ticket file per job, named ``<seq>.<digest>.json`` (submission
+sequence number + content-address digest), living in exactly one of
+four state directories::
+
+    queue/pending/shard-NNN/   runnable, partitioned over the sweep
+    queue/leased/              claimed by a worker (pid + expiry)
+    queue/requeue/             mid-repair quarantine (see recover)
+    queue/done/                completed (result journaled + cached)
+    queue/failed/              retries exhausted
+
+Every state transition is a single atomic :func:`os.rename` (or a
+temp-file + rename pair), so a SIGKILL at *any* instant leaves the
+queue with each ticket in a well-defined state:
+
+* **claim** — ``rename(pending/<name> -> leased/<name>.<pid>)``:
+  exactly one of any number of racing workers wins (the losers get
+  ``ENOENT`` and move on); the winner then rewrites the ticket with
+  its lease payload. The claimant's pid lives in the *filename*, so
+  a lease is attributable from the instant the rename lands — there
+  is no window in which recovery could mistake a live claim for an
+  abandoned ticket (or vice versa).
+* **complete** — the done ticket is written first, the leased one
+  unlinked second; a crash in between leaves a leased orphan that
+  :meth:`WorkQueue.recover` clears against the done record.
+* **fail / requeue** — same write-then-unlink discipline, with the
+  attempt counter carried in the payload and an exponential-backoff
+  ``not_before`` stamp that :meth:`claim` honors (bounded
+  retry-with-backoff on worker failure).
+
+Leases carry the worker's pid and an expiry. :meth:`recover` (run by
+the coordinator and opportunistically by idle workers) re-queues
+tickets whose worker died — pid liveness beats the clock, so a lease
+held by a live-but-slow worker is *renewed*, never stolen, while a
+SIGKILL'd worker's ticket is back in ``pending`` on the next sweep.
+
+Sharding implements work-stealing load balancing: ticket ``seq`` maps
+round-robin onto ``num_shards`` pending subdirectories; a worker
+drains its own shard first and, when idle, steals from the shard with
+the most pending tickets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional
+
+#: Default seconds a lease lives without renewal before a worker whose
+#: liveness cannot be proven is presumed dead.
+DEFAULT_LEASE_TTL = 60.0
+
+#: Default cap on execution attempts per ticket (first try included).
+DEFAULT_MAX_ATTEMPTS = 4
+
+#: Base of the exponential retry backoff (seconds).
+DEFAULT_BACKOFF = 0.5
+
+_STATES = ("pending", "leased", "requeue", "done", "failed")
+
+
+def _write_json(path: str, payload: Dict[str, object]) -> None:
+    """Atomic JSON write (temp file + rename, same directory)."""
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: str) -> Optional[Dict[str, object]]:
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def default_pid_alive(pid: object) -> bool:
+    """Best-effort liveness probe for a lease's worker pid."""
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM etc.: the process exists but is not ours.
+        return True
+    # kill(pid, 0) succeeds on a zombie — an orphaned worker whose
+    # reaper hasn't collected it yet holds no lease worth honoring.
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read()
+        # field 3 (after the parenthesized comm) is the state letter
+        return stat.rpartition(b")")[2].split()[0] != b"Z"
+    except (OSError, IndexError):
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class Ticket:
+    """One claimed unit of work."""
+
+    seq: int
+    digest: str
+    attempts: int
+    shard: int
+    stolen: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.seq:06d}.{self.digest}.json"
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """What one :meth:`WorkQueue.recover` sweep did."""
+
+    requeued: int = 0
+    renewed: int = 0
+    orphans_cleared: int = 0
+    exhausted: int = 0
+
+    @property
+    def total_actions(self) -> int:
+        return (self.requeued + self.renewed + self.orphans_cleared
+                + self.exhausted)
+
+
+class WorkQueue:
+    """The sharded ticket store under ``<root>/queue``."""
+
+    def __init__(self, root: str, num_shards: int,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 backoff: float = DEFAULT_BACKOFF) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.root = os.path.join(root, "queue")
+        self.num_shards = num_shards
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+
+    # -- layout ---------------------------------------------------------
+
+    def _state_dir(self, state: str) -> str:
+        return os.path.join(self.root, state)
+
+    def _shard_dir(self, shard: int) -> str:
+        return os.path.join(self.root, "pending", f"shard-{shard:03d}")
+
+    def ensure_dirs(self) -> None:
+        for state in _STATES:
+            os.makedirs(self._state_dir(state), exist_ok=True)
+        for shard in range(self.num_shards):
+            os.makedirs(self._shard_dir(shard), exist_ok=True)
+
+    def shard_of(self, seq: int) -> int:
+        return seq % self.num_shards
+
+    @staticmethod
+    def _parse(name: str) -> Optional[tuple]:
+        if not name.endswith(".json"):
+            return None
+        stem = name[:-len(".json")]
+        seq_text, _, digest = stem.partition(".")
+        if not seq_text.isdigit() or not digest:
+            return None
+        return int(seq_text), digest
+
+    @staticmethod
+    def _lease_name(name: str, pid: Optional[int] = None) -> str:
+        return f"{name}.{os.getpid() if pid is None else pid}"
+
+    @staticmethod
+    def _split_lease(lease_name: str) -> Optional[tuple]:
+        """``<name>.json.<pid>`` -> (name, pid), else None."""
+        base, _, pid_text = lease_name.rpartition(".")
+        if not pid_text.isdigit() or not base.endswith(".json"):
+            return None
+        return base, int(pid_text)
+
+    def _list(self, directory: str) -> List[str]:
+        try:
+            return sorted(os.listdir(directory))
+        except OSError:
+            return []
+
+    # -- transitions ----------------------------------------------------
+
+    def add(self, seq: int, digest: str) -> Ticket:
+        """Enqueue a fresh ticket into its shard."""
+        shard = self.shard_of(seq)
+        ticket = Ticket(seq=seq, digest=digest, attempts=0,
+                        shard=shard, stolen=False)
+        _write_json(os.path.join(self._shard_dir(shard), ticket.name),
+                    {"attempts": 0, "not_before": 0.0})
+        return ticket
+
+    def _pending_counts(self) -> List[int]:
+        return [len(self._list(self._shard_dir(shard)))
+                for shard in range(self.num_shards)]
+
+    def claim(self, worker: str, preferred_shard: int,
+              now: Optional[float] = None) -> Optional[Ticket]:
+        """Claim one runnable ticket, own shard first, then steal.
+
+        The steal order is longest-pending-shard first — the queue's
+        load-leveling rule. Returns None when nothing is currently
+        runnable (everything leased, backed off, or terminal).
+        """
+        now = time.time() if now is None else now
+        preferred_shard %= self.num_shards
+        counts = self._pending_counts()
+        steal_order = sorted(
+            (shard for shard in range(self.num_shards)
+             if shard != preferred_shard),
+            key=lambda shard: (-counts[shard], shard))
+        for shard in [preferred_shard] + steal_order:
+            ticket = self._claim_from(shard, worker, now,
+                                      stolen=shard != preferred_shard)
+            if ticket is not None:
+                return ticket
+        return None
+
+    def _claim_from(self, shard: int, worker: str, now: float,
+                    stolen: bool) -> Optional[Ticket]:
+        shard_dir = self._shard_dir(shard)
+        for name in self._list(shard_dir):
+            parsed = self._parse(name)
+            if parsed is None:
+                continue
+            payload = _read_json(os.path.join(shard_dir, name)) or {}
+            not_before = payload.get("not_before", 0.0)
+            if isinstance(not_before, (int, float)) and not_before > now:
+                continue
+            target = os.path.join(self._state_dir("leased"),
+                                   self._lease_name(name))
+            try:
+                os.rename(os.path.join(shard_dir, name), target)
+            except OSError:
+                continue  # another worker won the race
+            attempts = int(payload.get("attempts", 0))
+            _write_json(target, {
+                "attempts": attempts,
+                "worker": worker,
+                "pid": os.getpid(),
+                "leased_at": now,
+                "expires": now + self.lease_ttl,
+            })
+            seq, digest = parsed
+            return Ticket(seq=seq, digest=digest, attempts=attempts,
+                          shard=shard, stolen=stolen)
+        return None
+
+    def renew(self, ticket: Ticket, worker: str,
+              now: Optional[float] = None) -> None:
+        """Refresh the lease expiry of a ticket this worker holds."""
+        now = time.time() if now is None else now
+        path = os.path.join(self._state_dir("leased"),
+                            self._lease_name(ticket.name))
+        _write_json(path, {
+            "attempts": ticket.attempts,
+            "worker": worker,
+            "pid": os.getpid(),
+            "leased_at": now,
+            "expires": now + self.lease_ttl,
+        })
+
+    def complete(self, ticket: Ticket, worker: str,
+                 cached: bool) -> None:
+        """``leased -> done``: done record first, lease unlinked after.
+
+        The ordering makes the crash window harmless — a leased
+        orphan with a matching done record is cleared by recovery,
+        never re-executed.
+        """
+        _write_json(
+            os.path.join(self._state_dir("done"), ticket.name),
+            {"attempts": ticket.attempts, "worker": worker,
+             "cached": bool(cached)})
+        self._unlink_leased(self._lease_name(ticket.name))
+
+    def fail(self, ticket: Ticket, error: str,
+             now: Optional[float] = None) -> bool:
+        """Record a failed attempt; True when the ticket will retry."""
+        now = time.time() if now is None else now
+        attempts = ticket.attempts + 1
+        if attempts >= self.max_attempts:
+            _write_json(
+                os.path.join(self._state_dir("failed"), ticket.name),
+                {"attempts": attempts, "error": error})
+            self._unlink_leased(self._lease_name(ticket.name))
+            return False
+        delay = self.backoff * (2 ** ticket.attempts)
+        _write_json(
+            os.path.join(self._shard_dir(ticket.shard), ticket.name),
+            {"attempts": attempts, "not_before": now + delay,
+             "error": error})
+        self._unlink_leased(self._lease_name(ticket.name))
+        return True
+
+    def _unlink_leased(self, lease_name: str) -> None:
+        try:
+            os.unlink(os.path.join(self._state_dir("leased"),
+                                   lease_name))
+        except OSError:
+            pass
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self, now: Optional[float] = None,
+                pid_alive: Callable[[object], bool] = default_pid_alive
+                ) -> RecoveryReport:
+        """Repair the leased directory after crashes.
+
+        * leased ticket with a done (or re-queued pending) twin: the
+          transition already happened, the orphan is cleared;
+        * leased ticket whose worker pid is dead: re-queued into its
+          shard with the attempt counter bumped (or moved to failed
+          once retries are exhausted);
+        * leased ticket whose worker is alive but whose lease clock
+          ran out (a long simulation): the lease is renewed — pid
+          liveness beats the TTL, so slow never means stolen.
+
+        Safe to run concurrently from every worker: orphan clears are
+        idempotent unlinks, and requeue/exhaust transitions are single
+        renames, so racing sweeps repair each lease exactly once.
+        """
+        now = time.time() if now is None else now
+        report = RecoveryReport()
+        leased_dir = self._state_dir("leased")
+        for lease_name in self._list(leased_dir):
+            split = self._split_lease(lease_name)
+            if split is None:
+                continue  # temp file from an in-flight atomic write
+            name, pid = split
+            parsed = self._parse(name)
+            if parsed is None:
+                continue
+            if os.path.exists(os.path.join(self._state_dir("done"),
+                                           name)):
+                self._unlink_leased(lease_name)
+                report.orphans_cleared += 1
+                continue
+            seq, digest = parsed
+            shard = self.shard_of(seq)
+            if os.path.exists(os.path.join(self._shard_dir(shard),
+                                           name)):
+                # A crashed fail()/requeue already re-materialized the
+                # pending ticket; the leased file is the stale half.
+                self._unlink_leased(lease_name)
+                report.orphans_cleared += 1
+                continue
+            path = os.path.join(leased_dir, lease_name)
+            payload = _read_json(path) or {}
+            expires = payload.get("expires", 0.0)
+            if pid_alive(pid):
+                if isinstance(expires, (int, float)) and expires < now:
+                    _write_json(path, {
+                        **payload, "expires": now + self.lease_ttl})
+                    report.renewed += 1
+                continue
+            # The claimant's pid is embedded in the lease filename by
+            # the claim rename itself, so a dead pid is conclusive
+            # even if the crash landed before the lease payload write
+            # — re-queue immediately, no TTL wait, no grace window.
+            if self._requeue(name, shard, os.path.join(
+                    leased_dir, lease_name), report):
+                continue
+        self._sweep_requeue_dir(pid_alive, report)
+        return report
+
+    def _requeue(self, name: str, shard: int, source: str,
+                 report: RecoveryReport) -> bool:
+        """Move a dead claimant's ticket back to pending (or failed).
+
+        Concurrent sweeps (coordinator + every idle worker) race over
+        the same dead lease, so the repair follows an ownership
+        discipline: a file is only ever *rewritten* by the pid named
+        in its filename; everything else is a rename, which exactly
+        one racer can win. The sweep that wins the rename into the
+        ``requeue`` quarantine owns the ticket, bumps the attempt
+        counter on its own private copy, and publishes it with a
+        second rename. At no point does a ``_write_json`` target a
+        path some other sweep may already have consumed — that would
+        re-materialize a ticket a live worker holds and double-execute
+        its job.
+        """
+        mine = os.path.join(self._state_dir("requeue"),
+                            self._lease_name(name))
+        try:
+            os.rename(source, mine)
+        except OSError:
+            return False  # another sweep won this repair
+        payload = _read_json(mine) or {}
+        if payload.get("requeued"):
+            # Adopted from a sweep that crashed after the bump.
+            attempts = int(payload.get("attempts", 1))
+        else:
+            attempts = int(payload.get("attempts", 0)) + 1
+            _write_json(mine, {"attempts": attempts,
+                               "not_before": 0.0,
+                               "requeued": True,
+                               "error": "lease lost: worker died"})
+        if attempts >= self.max_attempts:
+            target = os.path.join(self._state_dir("failed"), name)
+            report.exhausted += 1
+        else:
+            target = os.path.join(self._shard_dir(shard), name)
+            report.requeued += 1
+        os.rename(mine, target)
+        return True
+
+    def _sweep_requeue_dir(self, pid_alive: Callable[[object], bool],
+                           report: RecoveryReport) -> None:
+        """Adopt quarantined tickets whose repairing sweep died."""
+        requeue_dir = self._state_dir("requeue")
+        for entry in self._list(requeue_dir):
+            split = self._split_lease(entry)
+            if split is None:
+                continue
+            name, owner = split
+            parsed = self._parse(name)
+            if parsed is None or owner == os.getpid():
+                continue
+            if pid_alive(owner):
+                continue  # mid-repair, let the owner finish
+            self._requeue(name, self.shard_of(parsed[0]),
+                          os.path.join(requeue_dir, entry), report)
+
+    # -- introspection --------------------------------------------------
+
+    def counts(self) -> Dict[str, object]:
+        per_shard = self._pending_counts()
+        # Quarantined tickets (mid-requeue) are logically pending
+        # again; they re-enter a shard within one recovery sweep.
+        requeue = len(self._list(self._state_dir("requeue")))
+        return {
+            "pending": sum(per_shard) + requeue,
+            "pending_per_shard": per_shard,
+            "leased": len(self._list(self._state_dir("leased"))),
+            "done": len(self._list(self._state_dir("done"))),
+            "failed": len(self._list(self._state_dir("failed"))),
+        }
+
+    def done_digests(self) -> Dict[str, Dict[str, object]]:
+        """digest -> done payload, for resume's skip-done scan."""
+        done: Dict[str, Dict[str, object]] = {}
+        directory = self._state_dir("done")
+        for name in self._list(directory):
+            parsed = self._parse(name)
+            if parsed is None:
+                continue
+            done[parsed[1]] = _read_json(
+                os.path.join(directory, name)) or {}
+        return done
+
+    def failed_tickets(self) -> Dict[str, Dict[str, object]]:
+        """digest -> failed payload (error, attempts)."""
+        failed: Dict[str, Dict[str, object]] = {}
+        directory = self._state_dir("failed")
+        for name in self._list(directory):
+            parsed = self._parse(name)
+            if parsed is None:
+                continue
+            failed[parsed[1]] = _read_json(
+                os.path.join(directory, name)) or {}
+        return failed

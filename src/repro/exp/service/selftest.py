@@ -1,0 +1,355 @@
+"""Service selftest: kill a campaign mid-sweep, resume, compare bytes.
+
+Four phases, one shared 20-job grid (every LFD x every Figure 5
+mechanism — the same reduced suite ``python -m repro.exp --selftest``
+times):
+
+A. **baseline** — an uninterrupted in-process drain; its
+   :meth:`~repro.exp.service.campaign.Campaign.aggregate` bytes are
+   the reference.
+B. **SIGKILL the campaign** — a subprocess ``run`` is killed (whole
+   process group, no cleanup handlers) once the results journal has
+   at least one record; ``resume`` then drives the same directory to
+   completion. Pinned: the aggregate is **byte-identical** to the
+   baseline and no job with a journaled/cached result executed twice.
+C. **SIGKILL one worker** — a subprocess ``run`` keeps going while we
+   kill the pid found in a lease file; the coordinator must re-queue
+   the dead worker's lease and the surviving worker finishes the
+   campaign, again byte-identical.
+D. **shared cache** — two fresh campaigns pointed at one
+   ``$REPRO_CACHE_SHARED`` directory: the second must execute zero
+   jobs (every summary arrives by read-through).
+
+The report lands in ``BENCH_svc.json`` (``make svc-smoke``), with
+``identical_aggregate`` / ``reexecutions`` pinned by the CI baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.configs import SCALED_CONFIG, bench_config
+from repro.exp.cache import ENV_SHARED
+from repro.exp.runner import Job
+from repro.exp.service.campaign import (
+    Campaign,
+    create_campaign,
+    open_campaign,
+)
+from repro.exp.service.worker import read_worker_stats, run_campaign
+from repro.workloads.harness import WorkloadSpec
+
+SUITE_WORKLOADS = ("linkedlist", "hashmap", "bstree", "skiplist",
+                   "queue")
+SUITE_MECHANISMS = ("nop", "sb", "bb", "lrp")
+
+#: Every campaign uses one name so their aggregates are comparable
+#: byte-for-byte (the campaign name is part of the canonical payload).
+CAMPAIGN_NAME = "svc-selftest"
+
+_DEADLINE = 180.0
+
+
+def suite_jobs(seed: int = 1) -> List[Job]:
+    config = bench_config(SCALED_CONFIG)
+    return [
+        Job(spec=WorkloadSpec(structure=workload, num_threads=8,
+                              initial_size=512, ops_per_thread=16,
+                              seed=seed),
+            mechanism=mechanism, config=config)
+        for workload in SUITE_WORKLOADS
+        for mechanism in SUITE_MECHANISMS
+    ]
+
+
+def _child_env() -> Dict[str, str]:
+    """Subprocess environment: repro importable, no ambient tiers."""
+    env = dict(os.environ)
+    import repro
+
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    parts = [src] + [p for p in
+                     env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    env.pop(ENV_SHARED, None)
+    env.pop("REPRO_HEARTBEAT_DIR", None)
+    return env
+
+
+def _spawn_run(root: str, workers: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.exp.service", "run", root,
+         "--workers", str(workers), "--quiet", "--poll", "0.05"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=_child_env(), start_new_session=True)
+
+
+def reexecution_count(campaign: Campaign) -> int:
+    """Journal records with ``cached: false`` beyond one per digest.
+
+    The no-re-execution guarantee: a job is simulated at most once per
+    campaign lifetime, because the cache entry is published before the
+    journal line and the journal line before the done rename. Any
+    digest with two uncached records means a finished job ran again.
+    """
+    uncached: Dict[str, int] = {}
+    for record in campaign.read_results():
+        digest = record.get("digest")
+        if isinstance(digest, str) and not record.get("cached"):
+            uncached[digest] = uncached.get(digest, 0) + 1
+    return sum(count - 1 for count in uncached.values() if count > 1)
+
+
+def _phase_baseline(root: str, jobs: List[Job],
+                    note) -> Tuple[bytes, float]:
+    note("phase A: uninterrupted baseline drain")
+    create_campaign(root, jobs, name=CAMPAIGN_NAME)
+    started = time.perf_counter()
+    report = run_campaign(root, workers=0, poll=0.01)
+    seconds = time.perf_counter() - started
+    if not report.ok:
+        raise RuntimeError("baseline campaign did not complete")
+    return open_campaign(root).aggregate(), seconds
+
+
+def _phase_kill_resume(root: str, jobs: List[Job], workers: int,
+                       note) -> Optional[Dict[str, object]]:
+    """SIGKILL the whole campaign mid-sweep, then resume it.
+
+    Returns None when the subprocess finished before the kill landed
+    (the caller retries with a fresh directory).
+    """
+    create_campaign(root, jobs, name=CAMPAIGN_NAME)
+    campaign = open_campaign(root)
+    proc = _spawn_run(root, workers)
+    killed = False
+    deadline = time.time() + _DEADLINE
+    try:
+        while time.time() < deadline:
+            journaled = len(campaign.read_results())
+            if journaled >= 1 and proc.poll() is None:
+                os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+                killed = True
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.01)
+    finally:
+        if proc.poll() is None and not killed:
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        proc.wait()
+        if proc.stdout:
+            proc.stdout.close()
+    if not killed:
+        return None
+    journaled_at_kill = len(campaign.read_results())
+    done_at_kill = campaign.status().done
+    note(f"phase B: SIGKILL'd campaign after {journaled_at_kill} "
+         f"journaled job(s); resuming")
+    started = time.perf_counter()
+    report = run_campaign(root, workers=workers, poll=0.05)
+    resume_seconds = time.perf_counter() - started
+    if not report.ok:
+        raise RuntimeError("resumed campaign did not complete")
+    stats = read_worker_stats(root)
+    return {
+        "killed_after_jobs": journaled_at_kill,
+        "done_at_kill": done_at_kill,
+        "resume_seconds": round(resume_seconds, 3),
+        "recovered_leases": report.recovered_leases,
+        "aggregate": open_campaign(root).aggregate(),
+        "reexecutions": reexecution_count(campaign),
+        "steals": sum(int(s.get("stolen", 0)) for s in stats),
+        "resume_cache_hits": sum(int(s.get("cache_hits", 0))
+                                 for s in stats),
+    }
+
+
+def _phase_worker_kill(root: str, jobs: List[Job], workers: int,
+                       note) -> Optional[Dict[str, object]]:
+    """SIGKILL one worker of a live run; the rest must finish it.
+
+    Returns None when no lease could be observed in time (campaign
+    finished first) — the caller retries.
+    """
+    create_campaign(root, jobs, name=CAMPAIGN_NAME)
+    campaign = open_campaign(root)
+    leased_dir = os.path.join(campaign.queue.root, "leased")
+    proc = _spawn_run(root, workers)
+    victim: Optional[int] = None
+    deadline = time.time() + _DEADLINE
+    started = time.perf_counter()
+    try:
+        while time.time() < deadline and proc.poll() is None:
+            for name in sorted(os.listdir(leased_dir)):
+                # Lease filenames carry the claimant pid as a suffix.
+                split = campaign.queue._split_lease(name)
+                if split is None:
+                    continue
+                pid = split[1]
+                if pid > 0 and pid != proc.pid:
+                    victim = pid
+                    break
+            if victim is not None:
+                break
+            time.sleep(0.005)
+        if victim is None:
+            return None
+        note(f"phase C: SIGKILL'd worker pid {victim} holding a lease")
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except ProcessLookupError:
+            return None  # finished its job just before the kill
+        stdout, _ = proc.communicate(timeout=_DEADLINE)
+    finally:
+        if proc.poll() is None:
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+            proc.wait()
+    seconds = time.perf_counter() - started
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"campaign run with a killed worker exited "
+            f"{proc.returncode}; expected the survivors to finish it")
+    report = json.loads(stdout.decode("utf-8"))
+    return {
+        "killed_worker_pid": victim,
+        "seconds": round(seconds, 3),
+        "recovered_leases": int(report.get("recovered_leases", 0)),
+        "aggregate": open_campaign(root).aggregate(),
+        "reexecutions": reexecution_count(campaign),
+    }
+
+
+def _phase_shared_cache(base: str, note) -> Dict[str, object]:
+    """Two campaigns, one shared tier: the second executes nothing."""
+    note("phase D: shared-cache read-through across campaigns")
+    shared = os.path.join(base, "shared-cache")
+    config = bench_config(SCALED_CONFIG)
+    jobs = [
+        Job(spec=WorkloadSpec(structure="queue", num_threads=8,
+                              initial_size=512, ops_per_thread=16,
+                              seed=2),
+            mechanism=mechanism, config=config)
+        for mechanism in SUITE_MECHANISMS
+    ]
+    previous = os.environ.get(ENV_SHARED)
+    os.environ[ENV_SHARED] = shared
+    try:
+        first = os.path.join(base, "shared-first")
+        second = os.path.join(base, "shared-second")
+        create_campaign(first, jobs, name=CAMPAIGN_NAME)
+        run_campaign(first, workers=0, poll=0.01)
+        started = time.perf_counter()
+        create_campaign(second, jobs, name=CAMPAIGN_NAME)
+        run_campaign(second, workers=0, poll=0.01)
+        warm_seconds = time.perf_counter() - started
+        stats = read_worker_stats(second)
+        executed = sum(int(s.get("executed", 0)) for s in stats)
+        hits = sum(int(s.get("cache_hits", 0)) for s in stats)
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_SHARED, None)
+        else:
+            os.environ[ENV_SHARED] = previous
+    published = sum(
+        1 for _root, _dirs, files in os.walk(shared)
+        for name in files if name.endswith(".pkl"))
+    return {
+        "jobs": len(jobs),
+        "published_entries": published,
+        "second_run_executed": executed,
+        "second_run_cache_hits": hits,
+        "warm_seconds": round(warm_seconds, 3),
+    }
+
+
+def run_selftest(output: str = "BENCH_svc.json", workers: int = 2,
+                 verbose: bool = True, seed: int = 1) -> Dict[str, object]:
+    def note(message: str) -> None:
+        if verbose:
+            print(f"svc-selftest: {message}", file=sys.stderr)
+
+    jobs = suite_jobs(seed)
+    ambient = os.environ.pop(ENV_SHARED, None)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-svc-") as base:
+            baseline, baseline_seconds = _phase_baseline(
+                os.path.join(base, "baseline"), jobs, note)
+
+            kill_report = None
+            for attempt in range(3):
+                kill_report = _phase_kill_resume(
+                    os.path.join(base, f"killed-{attempt}"), jobs,
+                    workers, note)
+                if kill_report is not None:
+                    break
+                note("phase B: run finished before the kill landed; "
+                     "retrying")
+            if kill_report is None:
+                raise RuntimeError(
+                    "could not interrupt a campaign mid-sweep in 3 "
+                    "attempts — grid too small for this machine?")
+
+            worker_report = None
+            for attempt in range(3):
+                worker_report = _phase_worker_kill(
+                    os.path.join(base, f"worker-kill-{attempt}"), jobs,
+                    workers, note)
+                if worker_report is not None:
+                    break
+                note("phase C: no lease observed before completion; "
+                     "retrying")
+            if worker_report is None:
+                raise RuntimeError(
+                    "could not catch a worker holding a lease in 3 "
+                    "attempts")
+
+            shared_report = _phase_shared_cache(base, note)
+    finally:
+        if ambient is not None:
+            os.environ[ENV_SHARED] = ambient
+
+    identical_b = kill_report.pop("aggregate") == baseline
+    identical_c = worker_report.pop("aggregate") == baseline
+    reexecutions = (int(kill_report["reexecutions"])
+                    + int(worker_report["reexecutions"]))
+    recovered = (int(kill_report["recovered_leases"])
+                 + int(worker_report["recovered_leases"]))
+    ok = (identical_b and identical_c and reexecutions == 0
+          and recovered >= 1
+          and shared_report["second_run_executed"] == 0
+          and shared_report["second_run_cache_hits"]
+          == shared_report["jobs"])
+
+    report: Dict[str, object] = {
+        "suite": {
+            "jobs": len(jobs),
+            "workloads": list(SUITE_WORKLOADS),
+            "mechanisms": list(SUITE_MECHANISMS),
+        },
+        "workers": workers,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "throughput_per_sec": round(
+            len(jobs) / baseline_seconds, 3) if baseline_seconds else None,
+        "killed_run": {**kill_report,
+                       "identical_aggregate": identical_b},
+        "worker_kill": {**worker_report,
+                        "identical_aggregate": identical_c},
+        "shared_cache": shared_report,
+        "identical_aggregate": identical_b and identical_c,
+        "reexecutions": reexecutions,
+        "recovered_leases": recovered,
+        "ok": ok,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report

@@ -1,0 +1,378 @@
+"""Worker pool: shard-affine draining, work stealing, lease recovery.
+
+A worker is a loop over :meth:`WorkQueue.claim` — own shard first,
+then the longest pending shard — executing each claimed job through
+the exact :func:`repro.exp.runner.execute_job` path every figure
+already uses. The completion discipline is what makes campaigns
+resumable with **zero re-execution**:
+
+1. check the campaign cache (read-through to ``$REPRO_CACHE_SHARED``)
+   — a hit is journaled as ``cached`` and never simulated;
+2. on a miss, simulate, then ``cache.put`` **before** the results
+   journal append **before** the ``done`` rename. A SIGKILL between
+   any two steps leaves either (a) nothing (clean re-run), (b) a
+   cache entry (resume -> cache hit, no re-run), or (c) cache entry
+   + journal line (resume -> cache hit; the duplicate journal line is
+   collapsed by digest, and determinism makes both lines identical).
+
+The coordinator (:func:`run_campaign`) spawns N worker processes,
+sweeps the queue for leases whose workers died (its own children are
+checked through the process handles, everything else through pid
+probes), and returns when every ticket is terminal. Killing a worker
+-- or the whole coordinator — therefore never loses work: the next
+``run``/``resume`` repairs the queue and continues.
+
+:class:`ServiceRunner` adapts a campaign directory to the
+:class:`~repro.exp.runner.ExperimentRunner` interface (``run(jobs)``
+-> summaries in submission order), which is all
+``repro.bench.figures --service DIR`` needs to execute its grid as a
+crash-resumable campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exp import heartbeat
+from repro.exp.runner import Job, RunSummary, execute_job
+from repro.exp.progress import NullProgress
+from repro.exp.service.campaign import (
+    Campaign,
+    CampaignStatus,
+    fingerprint,
+    open_campaign,
+    open_or_create,
+)
+from repro.exp.service.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    _write_json,
+    default_pid_alive,
+)
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """What one worker did over its lifetime."""
+
+    worker: str = ""
+    executed: int = 0
+    cache_hits: int = 0
+    stolen: int = 0
+    failures: int = 0
+    recovered_leases: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def _record(ticket, summary: RunSummary, worker: str,
+            cached: bool) -> Dict[str, object]:
+    return {
+        "digest": ticket.digest,
+        "seq": ticket.seq,
+        "worker": worker,
+        "cached": cached,
+        "at": time.time(),
+        "fingerprint": fingerprint(summary),
+    }
+
+
+def worker_loop(root: str, worker_id: int, *,
+                poll: float = 0.05,
+                campaign: Optional[Campaign] = None) -> WorkerStats:
+    """Drain the campaign's queue until every ticket is terminal.
+
+    Runnable in-process (tests, ``--workers 0``) or as the body of a
+    spawned worker process. Idle workers sweep for recoverable leases
+    (a sibling may have died) between polls, so even a lone survivor
+    finishes the whole campaign.
+    """
+    campaign = campaign or open_campaign(root)
+    queue = campaign.queue
+    cache = campaign.cache()
+    worker = f"w{worker_id}"
+    stats = WorkerStats(worker=worker)
+    own_heartbeat = heartbeat.job_writer(f"svc-{worker}")
+    if own_heartbeat is not None:
+        own_heartbeat.update("setup")
+    jobs_done = 0
+    while True:
+        ticket = queue.claim(worker, preferred_shard=worker_id)
+        if ticket is None:
+            status = campaign.status()
+            if status.finished:
+                break
+            recovery = queue.recover()
+            stats.recovered_leases += recovery.requeued
+            if recovery.requeued == 0:
+                time.sleep(poll)
+            continue
+        if ticket.stolen:
+            stats.stolen += 1
+        job = campaign.load_job(ticket.digest)
+        key = job.key()
+        summary = cache.get(key)
+        cached = summary is not None
+        if cached:
+            stats.cache_hits += 1
+            # Satellite: a job skipped via the cache still finished —
+            # flush a terminal heartbeat so `repro.exp --watch` never
+            # renders it as running (e.g. a stale file left by the
+            # killed run this resume is recovering from).
+            job_heartbeat = heartbeat.job_writer(job.label())
+            if job_heartbeat is not None:
+                job_heartbeat.update("done", cached=True,
+                                     makespan=summary.makespan)
+        else:
+            try:
+                summary = execute_job(job)
+            except Exception as exc:
+                stats.failures += 1
+                queue.fail(ticket, repr(exc))
+                continue
+            # Publish BEFORE journal/done: once any later step is
+            # visible, the cache entry exists, so a crash can never
+            # lead to a second execution of this digest.
+            cache.put(key, summary)
+            stats.executed += 1
+        campaign.append_result(_record(ticket, summary, worker, cached))
+        queue.complete(ticket, worker, cached)
+        jobs_done += 1
+        if own_heartbeat is not None:
+            own_heartbeat.update("running", jobs_done=jobs_done,
+                                 execs=stats.executed)
+    cache.flush_stats()
+    if own_heartbeat is not None:
+        own_heartbeat.update("done", jobs_done=jobs_done,
+                             execs=stats.executed)
+    _write_stats(root, stats)
+    return stats
+
+
+def _stats_dir(root: str) -> str:
+    return os.path.join(root, "worker-stats")
+
+
+def _write_stats(root: str, stats: WorkerStats) -> None:
+    try:
+        directory = _stats_dir(root)
+        os.makedirs(directory, exist_ok=True)
+        _write_json(os.path.join(directory, f"{stats.worker}.json"),
+                    stats.as_dict())
+    except OSError:
+        pass
+
+
+def read_worker_stats(root: str) -> List[Dict[str, object]]:
+    """Per-worker statistics written at worker exit (best effort)."""
+    stats: List[Dict[str, object]] = []
+    directory = _stats_dir(root)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return stats
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(data, dict):
+            stats.append(data)
+    return stats
+
+
+def _worker_entry(root: str, worker_id: int, poll: float) -> None:
+    worker_loop(root, worker_id, poll=poll)
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    status: CampaignStatus
+    recovered_leases: int
+    elapsed_seconds: float
+    workers: int
+    worker_stats: List[Dict[str, object]]
+
+    @property
+    def ok(self) -> bool:
+        return self.status.complete
+
+
+def run_campaign(root: str, workers: int = 1, *,
+                 poll: float = 0.2,
+                 use_heartbeats: bool = True,
+                 on_status: Optional[Callable[[CampaignStatus], None]]
+                 = None) -> RunReport:
+    """Run (or resume) a campaign to completion.
+
+    Resume *is* run: the pre-flight repairs any mid-submit crash
+    (missing tickets), re-queues leases of dead workers, and lets the
+    cache/journal skip everything already finished. ``workers=0``
+    drains in-process (deterministic single-threaded mode, used by
+    the selftest baseline); ``workers>=1`` spawns that many worker
+    processes and supervises their leases.
+    """
+    campaign = open_campaign(root)
+    campaign.ensure_tickets()
+    started = time.time()
+    recovery = campaign.queue.recover()
+    recovered = recovery.requeued + recovery.exhausted
+    env_was_unset = heartbeat.ENV_DIR not in os.environ
+    if use_heartbeats and env_was_unset:
+        # Scoped to this run: workers inherit the value at fork time,
+        # and the finally below restores the parent's environment.
+        os.environ[heartbeat.ENV_DIR] = campaign.heartbeat_dir
+    try:
+        if workers <= 0:
+            stats = worker_loop(root, 0, poll=poll, campaign=campaign)
+            recovered += stats.recovered_leases
+            status = campaign.status()
+            if on_status is not None:
+                on_status(status)
+            return RunReport(status=status, recovered_leases=recovered,
+                             elapsed_seconds=time.time() - started,
+                             workers=0,
+                             worker_stats=[stats.as_dict()])
+
+        processes = [
+            multiprocessing.Process(target=_worker_entry,
+                                    args=(root, index, poll),
+                                    daemon=True)
+            for index in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        by_pid = {process.pid: process for process in processes}
+
+        def _pid_alive(pid: object) -> bool:
+            process = by_pid.get(pid)
+            if process is not None:
+                # Children must be checked through the handle: a
+                # SIGKILL'd child stays a zombie (kill(pid, 0) still
+                # succeeds) until is_alive() reaps it.
+                return process.is_alive()
+            return default_pid_alive(pid)
+
+        try:
+            while True:
+                status = campaign.status()
+                if on_status is not None:
+                    on_status(status)
+                if status.finished:
+                    break
+                sweep = campaign.queue.recover(pid_alive=_pid_alive)
+                recovered += sweep.requeued + sweep.exhausted
+                if not any(process.is_alive() for process in processes):
+                    sweep = campaign.queue.recover(pid_alive=_pid_alive)
+                    recovered += sweep.requeued + sweep.exhausted
+                    status = campaign.status()
+                    if on_status is not None:
+                        on_status(status)
+                    break  # every worker died; report what we have
+                time.sleep(poll)
+        finally:
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+    finally:
+        if use_heartbeats and env_was_unset:
+            os.environ.pop(heartbeat.ENV_DIR, None)
+
+    status = campaign.status()
+    return RunReport(status=status, recovered_leases=recovered,
+                     elapsed_seconds=time.time() - started,
+                     workers=workers,
+                     worker_stats=read_worker_stats(root))
+
+
+class ServiceRunner:
+    """An :class:`~repro.exp.runner.ExperimentRunner`-shaped facade
+    over a campaign directory.
+
+    ``run(jobs)`` submits the batch (digest-idempotent), drives the
+    worker pool to completion, and returns summaries in submission
+    order from the campaign cache — so ``repro.bench.figures
+    --service DIR`` gets crash-resumable sweeps without changing a
+    line of figure logic. ``cache_hits``/``cache_misses`` mirror the
+    runner's bookkeeping (journal-skips and cache read-throughs count
+    as hits), keeping the figures' cold/warm timing labels honest.
+    """
+
+    def __init__(self, root: str, workers: int = 1, *,
+                 num_shards: Optional[int] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 poll: float = 0.2,
+                 progress: Optional[NullProgress] = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.root = root
+        self.workers = workers
+        self.num_shards = num_shards or max(1, workers)
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.poll = poll
+        self.progress = progress or NullProgress()
+        self.cache = None  # set on first run (campaign-local cache)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.campaign: Optional[Campaign] = None
+
+    def run(self, jobs: Sequence[Job], label: str = ""
+            ) -> List[RunSummary]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        campaign = open_or_create(
+            self.root, jobs, num_shards=self.num_shards,
+            lease_ttl=self.lease_ttl, max_attempts=self.max_attempts)
+        self.campaign = campaign
+        self.cache = campaign.cache()
+        already = set(campaign.results_by_digest())
+        self.progress.start(len(jobs), label)
+        report = run_campaign(self.root, workers=self.workers,
+                              poll=self.poll)
+        if not report.ok:
+            failures = campaign.queue.failed_tickets()
+            detail = "; ".join(
+                f"{digest[:12]}...: {payload.get('error', '?')}"
+                for digest, payload in sorted(failures.items())[:3])
+            raise RuntimeError(
+                f"campaign did not complete: {report.status.failed} "
+                f"failed, {report.status.pending} pending, "
+                f"{report.status.leased} leased"
+                + (f" ({detail})" if detail else ""))
+        records = campaign.results_by_digest()
+        reader = campaign.cache()
+        summaries: List[RunSummary] = []
+        for job in jobs:
+            digest = job.key()
+            summary = reader.get(digest)
+            if summary is None:
+                raise RuntimeError(
+                    f"campaign cache lost entry {digest[:12]}... — "
+                    "was the cache directory pruned mid-run?")
+            summaries.append(summary)
+            record = records.get(digest, {})
+            hit = digest in already or bool(record.get("cached"))
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.progress.job_done(job.label(), cached=hit)
+        self.progress.finish()
+        return summaries
